@@ -1,0 +1,121 @@
+// Command xnuma runs the paper's experiments on the simulated stack and
+// prints the regenerated tables and figures.
+//
+// Usage:
+//
+//	xnuma list                 # list experiment ids and applications
+//	xnuma all                  # run every experiment (shares a result cache)
+//	xnuma fig7 table4          # run specific experiments
+//	xnuma run cg.C first-touch # one single-VM run with details
+//	xnuma topo                 # dump the machine topology
+//
+// Flags:
+//
+//	-scale N   machine/footprint scale divisor (default 64)
+//	-seed N    simulation seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	xennuma "repro"
+	"repro/internal/exp"
+	"repro/internal/numa"
+)
+
+func main() {
+	scale := flag.Int("scale", 64, "machine and footprint scale divisor (power of two)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	markdown := flag.Bool("md", false, "render tables as Markdown instead of ASCII")
+	flag.Parse()
+	render := func(t *exp.Table) string {
+		if *markdown {
+			return t.RenderMarkdown()
+		}
+		return t.Render()
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	s := exp.NewSuite(*scale)
+	s.Opt.Seed = *seed
+	switch args[0] {
+	case "list":
+		fmt.Println("experiments:")
+		for _, id := range exp.IDs() {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("applications:")
+		for _, a := range xennuma.Apps() {
+			fmt.Println("  " + a)
+		}
+	case "all":
+		for _, t := range exp.AllExperiments(s) {
+			fmt.Println(render(t))
+		}
+	case "topo":
+		dumpTopology(*scale)
+	case "run":
+		if len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: xnuma run <app> <policy>")
+			os.Exit(2)
+		}
+		runOne(s, args[1], args[2])
+	default:
+		for _, id := range args {
+			fn := exp.ByID(id)
+			if fn == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: xnuma list)\n", id)
+				os.Exit(2)
+			}
+			fmt.Println(render(fn(s)))
+		}
+	}
+}
+
+func runOne(s *exp.Suite, app, pol string) {
+	if _, err := xennuma.ParsePolicy(pol); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := s.Xen(app, pol, true)
+	fmt.Printf("app:          %s\n", r.App)
+	fmt.Printf("backend:      %s\n", r.Backend)
+	fmt.Printf("completion:   %v\n", r.Completion)
+	fmt.Printf("init phase:   %v\n", r.InitTime)
+	fmt.Printf("imbalance:    %.0f%%\n", r.Imbalance)
+	fmt.Printf("interconnect: %.0f%%\n", r.InterconnectLoad)
+	fmt.Printf("locality:     %.2f\n", r.Locality)
+	fmt.Printf("migrated:     %d pages\n", r.Migrated)
+}
+
+func dumpTopology(scale int) {
+	t := numa.AMD48Scaled(scale)
+	fmt.Printf("AMD48 (scale 1/%d): %d nodes, %d CPUs, %d MiB total\n",
+		scale, t.NumNodes(), t.NumCPUs(), t.TotalMemory()>>20)
+	for _, n := range t.Nodes {
+		fmt.Printf("  node %d: cpus %v, %d MiB, pci=%v\n", n.ID, n.CPUs, n.MemBytes>>20, n.PCIBus)
+	}
+	fmt.Println("  hop distance matrix:")
+	for i := 0; i < t.NumNodes(); i++ {
+		fmt.Print("   ")
+		for j := 0; j < t.NumNodes(); j++ {
+			fmt.Printf(" %d", t.Distance(numa.NodeID(i), numa.NodeID(j)))
+		}
+		fmt.Println()
+	}
+	lm := t.Latency
+	fmt.Printf("  latency (cycles): local %d, 1-hop %d, 2-hop %d\n",
+		lm.BaseCycles(0), lm.BaseCycles(1), lm.BaseCycles(2))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
+usage:
+  xnuma [flags] list | all | topo | <experiment-id>... | run <app> <policy>`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,312 @@
+// Package carrefour implements the dynamic NUMA policy of Dashti et
+// al. [12] as ported into the hypervisor by the paper (§3.4, §4.3).
+//
+// The split mirrors the paper's port: the *system component* (in Xen)
+// samples memory accesses — here, the per-region access statistics the
+// simulation engine already maintains stand in for the IBS hardware
+// counters — and exposes a page-migration primitive (the internal
+// interface). The *user component* (a dom0 process) runs the decision
+// loop below: when memory controllers are overloaded it interleaves hot
+// pages from overloaded to underloaded nodes; when the interconnect
+// saturates it migrates pages remotely accessed by a single node to that
+// node. The replication heuristic of the original Carrefour is
+// deliberately not implemented, as in the paper, because it would require
+// radical changes to the memory manager for marginal gain.
+package carrefour
+
+import (
+	"repro/internal/numa"
+	"repro/internal/sim"
+)
+
+// PageSet is the per-region view the decision loop manipulates: the
+// placement of a set of pages plus the primitive to move one page. The
+// engine adapts its regions (and their backing hypervisor page table)
+// behind this interface.
+type PageSet interface {
+	// Len returns the number of pages in the set.
+	Len() int
+	// NodeOf returns the node currently backing page i.
+	NodeOf(i int) numa.NodeID
+	// Migrate moves page i to node, reporting whether it moved.
+	Migrate(i int, to numa.NodeID) bool
+}
+
+// Sample is what the sampler reports about one page set for one
+// interval.
+type Sample struct {
+	Set PageSet
+	// AccessShare is the fraction of the virtual machine's memory
+	// accesses hitting this set during the interval. Hotter sets are
+	// considered first, like Carrefour's hot-page ranking.
+	AccessShare float64
+	// Accessors is the per-node share of the accesses *issued* against
+	// this set (len = node count). A set with a single dominant accessor
+	// is a candidate for the migration heuristic.
+	Accessors []float64
+	// Hot marks a tiny, extremely hot set (the hottest pages of the
+	// interleave heuristic).
+	Hot bool
+	// ReadOnly marks a set accessed almost exclusively by reads —
+	// the precondition of the replication heuristic.
+	ReadOnly bool
+}
+
+// Replicator is the optional PageSet extension used by the replication
+// heuristic: replicating a set gives every node a local copy. The
+// original Carrefour implements this for read-only hot pages; the paper
+// discards it in Xen because it would require radical memory-manager
+// changes — it is gated behind Config.EnableReplication here for the
+// ablation study.
+type Replicator interface {
+	Replicate() bool
+}
+
+// Tick is one sampling interval's machine state.
+type Tick struct {
+	// CtrlUtil is the per-node memory-controller utilization in [0,1].
+	CtrlUtil []float64
+	// MaxLinkUtil is the utilization of the most loaded interconnect
+	// link in [0,1].
+	MaxLinkUtil float64
+	Samples     []Sample
+	Rand        *sim.Rand
+}
+
+// Config tunes the decision thresholds.
+type Config struct {
+	// CtrlOverload triggers the interleave heuristic when any
+	// controller's utilization exceeds it.
+	CtrlOverload float64
+	// CtrlImbalance additionally requires the max/mean controller ratio
+	// to exceed this factor (a uniformly saturated machine gains nothing
+	// from interleaving).
+	CtrlImbalance float64
+	// LinkSaturation triggers the migration heuristic.
+	LinkSaturation float64
+	// DominantAccessor is the single-node access share above which a set
+	// qualifies for locality migration.
+	DominantAccessor float64
+	// BudgetPages caps migrations per tick (hardware-counter-driven
+	// Carrefour moves only the hottest pages).
+	BudgetPages int
+	// EnableReplication turns on the replication heuristic that the
+	// paper deliberately leaves out (§3.4). Off by default.
+	EnableReplication bool
+}
+
+// DefaultConfig returns thresholds matching Carrefour's published
+// behaviour scaled to this simulation's load metrics.
+func DefaultConfig() Config {
+	return Config{
+		CtrlOverload:     0.25,
+		CtrlImbalance:    1.5,
+		LinkSaturation:   0.30,
+		DominantAccessor: 0.75,
+		BudgetPages:      4096,
+	}
+}
+
+// Controller is the user component's decision loop state.
+type Controller struct {
+	Cfg Config
+
+	// Counters.
+	Ticks           uint64
+	Interleaved     uint64
+	LocalityMoved   uint64
+	Replicated      uint64
+	InterleaveTicks uint64
+	MigrationTicks  uint64
+	rr              int
+}
+
+// New returns a controller with cfg.
+func New(cfg Config) *Controller { return &Controller{Cfg: cfg} }
+
+// Move records one page migration's endpoints, for traffic accounting by
+// the caller.
+type Move struct {
+	From, To numa.NodeID
+}
+
+// Result reports what one tick did.
+type Result struct {
+	Migrated int
+	// Moves[i] pairs source and destination of each migration for
+	// tracing.
+	InterleaveMoves int
+	LocalityMoves   int
+	Replications    int
+}
+
+// Step runs one decision interval.
+func (c *Controller) Step(t Tick) Result {
+	c.Ticks++
+	var res Result
+	budget := c.Cfg.BudgetPages
+
+	if c.controllersOverloaded(t.CtrlUtil) {
+		c.InterleaveTicks++
+		n := c.interleave(t, &budget)
+		res.InterleaveMoves += n
+		res.Migrated += n
+	}
+	if t.MaxLinkUtil > c.Cfg.LinkSaturation {
+		c.MigrationTicks++
+		if c.Cfg.EnableReplication {
+			res.Replications += c.replicate(t)
+		}
+		n := c.localityMigrate(t, &budget)
+		res.LocalityMoves += n
+		res.Migrated += n
+	}
+	return res
+}
+
+// replicate applies the replication heuristic: hot, read-only sets
+// accessed from several nodes get a per-node copy, removing their remote
+// traffic entirely.
+func (c *Controller) replicate(t Tick) int {
+	done := 0
+	for _, s := range t.Samples {
+		if !s.Hot || !s.ReadOnly {
+			continue
+		}
+		if _, share := dominantNode(s.Accessors); share >= c.Cfg.DominantAccessor {
+			continue // single accessor: migration is cheaper
+		}
+		if rep, ok := s.Set.(Replicator); ok && rep.Replicate() {
+			done++
+			c.Replicated++
+		}
+	}
+	return done
+}
+
+func (c *Controller) controllersOverloaded(util []float64) bool {
+	if len(util) == 0 {
+		return false
+	}
+	var max, sum float64
+	for _, u := range util {
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	mean := sum / float64(len(util))
+	if mean <= 0 {
+		return false
+	}
+	return max > c.Cfg.CtrlOverload && max/mean > c.Cfg.CtrlImbalance
+}
+
+// interleave randomly migrates hot pages from overloaded nodes to
+// underloaded nodes (§3.4).
+func (c *Controller) interleave(t Tick, budget *int) int {
+	overloaded, underloaded := splitByLoad(t.CtrlUtil)
+	if len(overloaded) == 0 || len(underloaded) == 0 {
+		return 0
+	}
+	isOver := make(map[numa.NodeID]bool, len(overloaded))
+	for _, n := range overloaded {
+		isOver[n] = true
+	}
+	moved := 0
+	// Hottest sets first: hot flags, then by access share.
+	for _, s := range orderSamples(t.Samples) {
+		if *budget <= 0 {
+			break
+		}
+		for i := 0; i < s.Set.Len() && *budget > 0; i++ {
+			if !isOver[s.Set.NodeOf(i)] {
+				continue
+			}
+			dst := underloaded[c.rr%len(underloaded)]
+			c.rr++
+			if s.Set.Migrate(i, dst) {
+				moved++
+				c.Interleaved++
+				*budget--
+			}
+		}
+	}
+	return moved
+}
+
+// localityMigrate moves pages of single-accessor sets to the accessing
+// node (§3.4).
+func (c *Controller) localityMigrate(t Tick, budget *int) int {
+	moved := 0
+	for _, s := range orderSamples(t.Samples) {
+		if *budget <= 0 {
+			break
+		}
+		dom, share := dominantNode(s.Accessors)
+		if share < c.Cfg.DominantAccessor {
+			continue
+		}
+		for i := 0; i < s.Set.Len() && *budget > 0; i++ {
+			if s.Set.NodeOf(i) == dom {
+				continue
+			}
+			if s.Set.Migrate(i, dom) {
+				moved++
+				c.LocalityMoved++
+				*budget--
+			}
+		}
+	}
+	return moved
+}
+
+// splitByLoad partitions nodes into overloaded (above 1.2× mean) and
+// underloaded (below 0.8× mean).
+func splitByLoad(util []float64) (over, under []numa.NodeID) {
+	var sum float64
+	for _, u := range util {
+		sum += u
+	}
+	mean := sum / float64(len(util))
+	for i, u := range util {
+		switch {
+		case u > 1.2*mean:
+			over = append(over, numa.NodeID(i))
+		case u < 0.8*mean:
+			under = append(under, numa.NodeID(i))
+		}
+	}
+	return over, under
+}
+
+// dominantNode returns the node with the largest accessor share.
+func dominantNode(accessors []float64) (numa.NodeID, float64) {
+	best, bestShare := numa.NodeID(0), 0.0
+	for i, a := range accessors {
+		if a > bestShare {
+			best, bestShare = numa.NodeID(i), a
+		}
+	}
+	return best, bestShare
+}
+
+// orderSamples returns samples hottest-first without mutating the input.
+func orderSamples(in []Sample) []Sample {
+	out := make([]Sample, len(in))
+	copy(out, in)
+	// Insertion sort: sample counts are tiny (regions per VM).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && hotter(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func hotter(a, b Sample) bool {
+	if a.Hot != b.Hot {
+		return a.Hot
+	}
+	return a.AccessShare > b.AccessShare
+}

@@ -1,0 +1,83 @@
+package carrefour
+
+// Sampler models the hardware side of Carrefour's system component: the
+// real implementation watches instruction-based-sampling (IBS) events,
+// so the user component never sees exact access counts — only a few
+// thousand samples per interval. Passing a Tick through Noisy replaces
+// the exact per-set statistics with multinomial sample estimates, which
+// makes the decision loop exactly as blind as the original: cold sets
+// may draw no samples at all, and accessor distributions wobble.
+type Sampler struct {
+	// SamplesPerTick is the IBS budget per decision interval. Carrefour
+	// uses sampling rates in the tens of thousands per second; the
+	// default models ~2000 usable memory samples per interval.
+	SamplesPerTick int
+}
+
+// DefaultSampler returns the standard budget.
+func DefaultSampler() Sampler { return Sampler{SamplesPerTick: 2000} }
+
+// Noisy returns a copy of t whose AccessShare and Accessors fields are
+// re-estimated from SamplesPerTick simulated IBS samples. Sets drawing
+// no samples get a zero share and uniform accessors, so the controller
+// ignores them — like real Carrefour ignores pages below its hotness
+// threshold.
+func (s Sampler) Noisy(t Tick) Tick {
+	if s.SamplesPerTick <= 0 || t.Rand == nil || len(t.Samples) == 0 {
+		return t
+	}
+	out := t
+	out.Samples = make([]Sample, len(t.Samples))
+	copy(out.Samples, t.Samples)
+
+	// Draw the per-set sample counts from the access-share distribution.
+	counts := make([]int, len(t.Samples))
+	var totalShare float64
+	for _, smp := range t.Samples {
+		totalShare += smp.AccessShare
+	}
+	if totalShare <= 0 {
+		return t
+	}
+	for i := 0; i < s.SamplesPerTick; i++ {
+		x := t.Rand.Float64() * totalShare
+		for j, smp := range t.Samples {
+			x -= smp.AccessShare
+			if x <= 0 {
+				counts[j]++
+				break
+			}
+		}
+	}
+	for j := range out.Samples {
+		n := counts[j]
+		out.Samples[j].AccessShare = float64(n) / float64(s.SamplesPerTick) * totalShare
+		if n == 0 {
+			// No samples: the set is invisible this interval.
+			out.Samples[j].Accessors = make([]float64, len(t.Samples[j].Accessors))
+			continue
+		}
+		// Resample the accessor distribution with n draws.
+		acc := make([]float64, len(t.Samples[j].Accessors))
+		for k := 0; k < n; k++ {
+			x := t.Rand.Float64()
+			for node, share := range t.Samples[j].Accessors {
+				x -= share
+				if x <= 0 {
+					acc[node]++
+					break
+				}
+			}
+		}
+		for node := range acc {
+			acc[node] /= float64(n)
+		}
+		out.Samples[j].Accessors = acc
+	}
+	return out
+}
+
+// NoisyStep is a convenience: sample, then decide.
+func (c *Controller) NoisyStep(s Sampler, t Tick) Result {
+	return c.Step(s.Noisy(t))
+}

@@ -1,0 +1,168 @@
+package carrefour
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/sim"
+)
+
+func TestSamplerPreservesHotShares(t *testing.T) {
+	s := Sampler{SamplesPerTick: 20000}
+	set := newFakeSet(0, 0)
+	tick := Tick{
+		Samples: []Sample{
+			{Set: set, AccessShare: 0.8, Accessors: accessors(4, 1, 0.9)},
+			{Set: set, AccessShare: 0.2, Accessors: uniform(4)},
+		},
+		Rand: sim.NewRand(3),
+	}
+	noisy := s.Noisy(tick)
+	// With a large budget the estimates converge to the truth.
+	if math.Abs(noisy.Samples[0].AccessShare-0.8) > 0.02 {
+		t.Fatalf("share estimate %v, want ~0.8", noisy.Samples[0].AccessShare)
+	}
+	if math.Abs(noisy.Samples[0].Accessors[1]-0.9) > 0.02 {
+		t.Fatalf("accessor estimate %v, want ~0.9", noisy.Samples[0].Accessors[1])
+	}
+}
+
+func TestSamplerHidesColdSets(t *testing.T) {
+	s := Sampler{SamplesPerTick: 50}
+	set := newFakeSet(0)
+	tick := Tick{
+		Samples: []Sample{
+			{Set: set, AccessShare: 0.999, Accessors: uniform(4)},
+			{Set: set, AccessShare: 0.001, Accessors: accessors(4, 2, 1)},
+		},
+		Rand: sim.NewRand(7),
+	}
+	noisy := s.Noisy(tick)
+	// The cold set almost surely draws no samples and becomes invisible.
+	if noisy.Samples[1].AccessShare > 0.05 {
+		t.Fatalf("cold set share = %v", noisy.Samples[1].AccessShare)
+	}
+}
+
+func TestSamplerDisabledPassthrough(t *testing.T) {
+	tick := Tick{
+		Samples: []Sample{{Set: newFakeSet(0), AccessShare: 0.5, Accessors: uniform(4)}},
+		Rand:    sim.NewRand(1),
+	}
+	if got := (Sampler{}).Noisy(tick); &got.Samples[0] != &tick.Samples[0] {
+		// Zero budget: the tick passes through untouched.
+		if got.Samples[0].AccessShare != 0.5 {
+			t.Fatal("disabled sampler altered the tick")
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	mk := func(seed uint64) Tick {
+		return Tick{
+			Samples: []Sample{{Set: newFakeSet(0), AccessShare: 0.5, Accessors: uniform(4)}},
+			Rand:    sim.NewRand(seed),
+		}
+	}
+	s := Sampler{SamplesPerTick: 100}
+	a := s.Noisy(mk(5))
+	b := s.Noisy(mk(5))
+	if a.Samples[0].AccessShare != b.Samples[0].AccessShare {
+		t.Fatal("same seed gave different estimates")
+	}
+}
+
+func TestNoisyStepStillDecides(t *testing.T) {
+	c := New(DefaultConfig())
+	set := newFakeSet(0, 0, 0, 0, 0, 0, 0, 0)
+	tick := Tick{
+		CtrlUtil: []float64{0.9, 0.05, 0.05, 0.05},
+		Samples:  []Sample{{Set: set, AccessShare: 0.9, Accessors: uniform(4), Hot: true}},
+		Rand:     sim.NewRand(1),
+	}
+	res := c.NoisyStep(DefaultSampler(), tick)
+	if res.Migrated == 0 {
+		t.Fatal("sampled decision loop stopped acting")
+	}
+}
+
+// replicaSet extends fakeSet with replication.
+type replicaSet struct {
+	fakeSet
+	replicated bool
+}
+
+func (r *replicaSet) Replicate() bool {
+	if r.replicated {
+		return false
+	}
+	r.replicated = true
+	return true
+}
+
+func TestReplicationHeuristic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableReplication = true
+	c := New(cfg)
+	set := &replicaSet{fakeSet: *newFakeSet(0, 0)}
+	tick := Tick{
+		CtrlUtil:    []float64{0.1, 0.1, 0.1, 0.1},
+		MaxLinkUtil: 0.5,
+		Samples: []Sample{{
+			Set: set, AccessShare: 0.5, Accessors: uniform(4),
+			Hot: true, ReadOnly: true,
+		}},
+		Rand: sim.NewRand(1),
+	}
+	res := c.Step(tick)
+	if res.Replications != 1 || !set.replicated {
+		t.Fatalf("read-only hot set not replicated: %+v", res)
+	}
+	// Idempotent on the next tick.
+	if res := c.Step(tick); res.Replications != 0 {
+		t.Fatal("set replicated twice")
+	}
+}
+
+func TestReplicationRequiresReadOnlyAndMultiAccessor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableReplication = true
+	c := New(cfg)
+	mk := func(readonly bool, acc []float64) Tick {
+		return Tick{
+			CtrlUtil:    []float64{0, 0, 0, 0},
+			MaxLinkUtil: 0.5,
+			Samples: []Sample{{
+				Set: &replicaSet{fakeSet: *newFakeSet(3, 3)}, AccessShare: 0.5,
+				Accessors: acc, Hot: true, ReadOnly: readonly,
+			}},
+			Rand: sim.NewRand(1),
+		}
+	}
+	if res := c.Step(mk(false, uniform(4))); res.Replications != 0 {
+		t.Fatal("replicated a writable set")
+	}
+	if res := c.Step(mk(true, accessors(4, 2, 0.95))); res.Replications != 0 {
+		t.Fatal("replicated a single-accessor set (migration is cheaper)")
+	}
+}
+
+func TestReplicationOffByDefault(t *testing.T) {
+	// The paper discards the heuristic; the default configuration must
+	// not replicate.
+	c := New(DefaultConfig())
+	set := &replicaSet{fakeSet: *newFakeSet(0)}
+	tick := Tick{
+		CtrlUtil:    []float64{0, 0, 0, 0},
+		MaxLinkUtil: 0.9,
+		Samples: []Sample{{
+			Set: set, AccessShare: 0.9, Accessors: uniform(4), Hot: true, ReadOnly: true,
+		}},
+		Rand: sim.NewRand(1),
+	}
+	if res := c.Step(tick); res.Replications != 0 || set.replicated {
+		t.Fatal("default configuration replicated (§3.4 discards it)")
+	}
+	_ = numa.NodeID(0)
+}

@@ -1,0 +1,280 @@
+// Package engine executes workloads against a placement backend (the Xen
+// hypervisor stack or a native Linux stack) over the simulated machine.
+//
+// Execution is epoch-based: within each epoch every runnable thread
+// issues memory accesses according to its application profile and the
+// current page placement; the resulting per-controller and per-link
+// loads feed the latency model, which in turn paces thread progress.
+// Two fixed-point iterations per epoch make rates and latencies
+// self-consistent. All placement happens through real page-table and
+// allocator operations in the backend, so the policies' mechanisms (not
+// just their statistics) are exercised.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/iosim"
+	"repro/internal/mem"
+	"repro/internal/numa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RegionKind classifies a region's first-touch and access pattern.
+type RegionKind int
+
+const (
+	// RegionHot is the tiny set of hottest pages; its accesses
+	// concentrate on effectively one page, so no static policy can
+	// balance it.
+	RegionHot RegionKind = iota
+	// RegionMaster is memory allocated and first-touched by the master
+	// thread, then accessed by everyone (the master-slave pattern).
+	RegionMaster
+	// RegionPrivate is one thread's private memory.
+	RegionPrivate
+	// RegionDist is shared memory first-touched by all threads evenly.
+	RegionDist
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionHot:
+		return "hot"
+	case RegionMaster:
+		return "master"
+	case RegionPrivate:
+		return "private"
+	case RegionDist:
+		return "dist"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Region is a set of pages with a uniform access pattern. Backends
+// append pages as they materialize and update placement on migration.
+type Region struct {
+	Name  string
+	Kind  RegionKind
+	Owner int // owning thread for RegionPrivate
+
+	Pages  []mem.PFN
+	nodes  []numa.NodeID
+	hist   []float64 // page count per node
+	nNodes int
+
+	// headLimit, when positive, concentrates the region's accesses on
+	// its first headLimit pages (the application's working set);
+	// histHead tracks their placement separately.
+	headLimit int
+	histHead  []float64
+
+	// Replicated marks a region whose pages have a copy on every node
+	// (Carrefour's replication heuristic, when enabled): all accesses
+	// become local.
+	Replicated bool
+}
+
+// NewRegion returns an empty region for a machine with nNodes nodes.
+func NewRegion(name string, kind RegionKind, owner, nNodes int) *Region {
+	return &Region{Name: name, Kind: kind, Owner: owner, hist: make([]float64, nNodes), nNodes: nNodes}
+}
+
+// SetAccessHead declares that accesses concentrate on the first limit
+// pages. Zero (the default) means the whole region is accessed.
+func (r *Region) SetAccessHead(limit int) {
+	r.headLimit = limit
+	r.histHead = make([]float64, r.nNodes)
+	for i := 0; i < len(r.Pages) && i < limit; i++ {
+		r.histHead[r.nodes[i]]++
+	}
+}
+
+// AddPage records a materialized page and its placement.
+func (r *Region) AddPage(p mem.PFN, node numa.NodeID) {
+	r.Pages = append(r.Pages, p)
+	r.nodes = append(r.nodes, node)
+	r.hist[node]++
+	if r.headLimit > 0 && len(r.Pages) <= r.headLimit {
+		r.histHead[node]++
+	}
+}
+
+// SetNode updates page i's placement after a migration.
+func (r *Region) SetNode(i int, node numa.NodeID) {
+	old := r.nodes[i]
+	if old == node {
+		return
+	}
+	r.hist[old]--
+	r.hist[node]++
+	if r.headLimit > 0 && i < r.headLimit {
+		r.histHead[old]--
+		r.histHead[node]++
+	}
+	r.nodes[i] = node
+}
+
+// Len returns the number of materialized pages.
+func (r *Region) Len() int { return len(r.Pages) }
+
+// NodeOf returns page i's node.
+func (r *Region) NodeOf(i int) numa.NodeID { return r.nodes[i] }
+
+// Dist returns the placement distribution (shares per node summing to 1;
+// uniform-zero when empty).
+func (r *Region) Dist() []float64 {
+	out := make([]float64, r.nNodes)
+	if len(r.Pages) == 0 {
+		return out
+	}
+	total := float64(len(r.Pages))
+	for n, c := range r.hist {
+		out[n] = c / total
+	}
+	return out
+}
+
+// AccessDist returns the access-weighted placement distribution: the
+// working-set head when SetAccessHead was called, the whole region
+// otherwise.
+func (r *Region) AccessDist() []float64 {
+	if r.headLimit <= 0 || r.headLimit >= len(r.Pages) {
+		return r.Dist()
+	}
+	out := make([]float64, r.nNodes)
+	total := 0.0
+	for _, c := range r.histHead {
+		total += c
+	}
+	if total == 0 {
+		return r.Dist()
+	}
+	for n, c := range r.histHead {
+		out[n] = c / total
+	}
+	return out
+}
+
+// HotDist returns the access-weighted distribution for a hot region: all
+// accesses hit the single hottest page (page 0).
+func (r *Region) HotDist() []float64 {
+	out := make([]float64, r.nNodes)
+	if len(r.Pages) == 0 {
+		return out
+	}
+	out[r.nodes[0]] = 1
+	return out
+}
+
+// Backend materializes, frees and migrates region pages on a concrete
+// platform, and reports the platform's fixed characteristics.
+type Backend interface {
+	// Name identifies the platform and policy for reporting.
+	Name() string
+	// Place materializes n pages of r, first-touched from node toucher,
+	// appending them to r. It returns the time charged to the touching
+	// thread.
+	Place(r *Region, n int, toucher numa.NodeID) (sim.Time, error)
+	// Migrate moves page i of r to node, updating r on success.
+	Migrate(r *Region, i int, to numa.NodeID) bool
+	// Release frees every page of r.
+	Release(r *Region) sim.Time
+	// ChurnOverhead is the fraction of a core's time lost to the
+	// page-release notification path at the given per-core release rate.
+	ChurnOverhead(releasesPerSec float64, threads int) float64
+	// IO returns the platform's DMA path and buffer placement.
+	IO() (iosim.Path, iosim.BufferPlacement)
+	// Virtualized reports whether IPIs pay guest-mode costs.
+	Virtualized() bool
+	// ThreadNode returns the NUMA node thread i's CPU belongs to.
+	ThreadNode(i int) numa.NodeID
+	// CPUShare returns the fraction of a physical CPU available to
+	// thread i (0.5 in consolidated setups).
+	CPUShare(i int) float64
+	// HomeNodes returns the nodes the instance's memory may use.
+	HomeNodes() []numa.NodeID
+}
+
+// Thread is one application thread, bound 1:1 to a vCPU (or CPU).
+type Thread struct {
+	ID       int
+	Node     numa.NodeID
+	CPUShare float64
+
+	WorkLeft float64 // remaining work units (one LLC miss each)
+	DebtNs   float64 // stall time still to consume (init, faults, hypercalls)
+	Done     bool
+	DoneAt   sim.Time
+
+	latNs float64 // smoothed memory access latency estimate
+}
+
+// Instance is one running application on one backend (one VM, or one
+// native process).
+type Instance struct {
+	Prof      workload.Profile
+	Backend   Backend
+	NThreads  int
+	Carrefour bool
+	// MCS enables the spin-lock mitigation for pthread-blocking apps
+	// (Xen+ and LinuxNUMA apply it to facesim and streamcluster).
+	MCS bool
+	// LargePages maps the instance's memory with 2 MiB pages when the
+	// run's TLB model is enabled (§7 extension).
+	LargePages bool
+
+	Threads []*Thread
+	hot     *Region
+	master  *Region
+	// dist holds one slice per thread: distributed-shared memory is
+	// first-touched by its owning thread and mostly accessed by it, with
+	// a CrossShare fraction of accesses hitting all slices uniformly.
+	dist  []*Region
+	priv  []*Region
+	sizes regionSizes
+
+	workPerThread  float64
+	footprintBytes float64
+	ioStream       iosim.Stream
+
+	// burst state (Carrefour-misleading temporary remote accesses).
+	burstLeft   int
+	burstNode   numa.NodeID
+	burstRegion *Region
+
+	done       bool
+	Completion sim.Time
+
+	// pending migration traffic (bytes between node pairs) charged to
+	// the next epoch's load.
+	pendingMoveBytes map[[2]numa.NodeID]float64
+}
+
+// regionSizes records the page budget of each region class.
+type regionSizes struct {
+	hot, master, priv, dist int
+}
+
+// DefaultCrossShare documents the default fraction of distributed-shared
+// accesses that cross slice boundaries; workload profiles override it
+// per application (Profile.CrossShare).
+const DefaultCrossShare = 0.25
+
+// Streams returns the access-stream weights of the instance's profile.
+func (in *Instance) streams() (wHot, wMaster, wPriv, wDist float64) {
+	p := in.Prof
+	return p.HotShare, p.MasterShare, p.PrivateShare, p.DistShare
+}
+
+// AllDone reports whether every thread finished.
+func (in *Instance) AllDone() bool {
+	for _, t := range in.Threads {
+		if !t.Done {
+			return false
+		}
+	}
+	return true
+}

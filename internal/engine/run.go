@@ -1,0 +1,711 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/carrefour"
+	"repro/internal/iosim"
+	"repro/internal/ipi"
+	"repro/internal/metrics"
+	"repro/internal/numa"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Topo *numa.Topology
+	Seed uint64
+	// Epoch is the simulation quantum.
+	Epoch sim.Time
+	// CarrefourEvery is the decision interval in epochs.
+	CarrefourEvery int
+	// MaxTime aborts runaway runs.
+	MaxTime sim.Time
+	// CtrlBWBps is the per-node memory controller bandwidth (13 GiB/s on
+	// AMD48).
+	CtrlBWBps float64
+	// Scale divides application footprints (the machine must be built
+	// with banks divided by the same factor).
+	Scale int
+	Disk  iosim.Disk
+	// Carrefour tunes the dynamic policy's thresholds.
+	Carrefour carrefour.Config
+	// TLB, when non-nil, charges address-translation overhead per
+	// access (the paper's §7 large-page extension). Nil preserves the
+	// paper's baseline, which does not model TLBs.
+	TLB *numa.TLBModel
+}
+
+// DefaultConfig returns the standard configuration for a machine scaled
+// by scale.
+func DefaultConfig(topo *numa.Topology, scale int) Config {
+	return Config{
+		Topo:           topo,
+		Seed:           1,
+		Epoch:          5 * sim.Millisecond,
+		CarrefourEvery: 20,
+		MaxTime:        300 * sim.Second,
+		CtrlBWBps:      13 * (1 << 30),
+		Scale:          scale,
+		Disk:           iosim.DefaultDisk(),
+		Carrefour:      carrefour.DefaultConfig(),
+	}
+}
+
+// Result is one instance's outcome.
+type Result struct {
+	App        string
+	Backend    string
+	Completion sim.Time
+	TimedOut   bool
+	InitTime   sim.Time
+
+	Imbalance        float64
+	InterconnectLoad float64
+	Locality         float64
+	Migrated         uint64
+	Stats            *metrics.RunStats
+}
+
+// Run executes the instances to completion and returns one result each.
+// All instances share the machine: their memory traffic contends on the
+// same controllers and links.
+func Run(cfg Config, insts ...*Instance) ([]Result, error) {
+	if cfg.Epoch <= 0 || cfg.Scale <= 0 || len(insts) == 0 {
+		return nil, fmt.Errorf("engine: invalid config or no instances")
+	}
+	r := &runner{cfg: cfg, insts: insts, rand: sim.NewRand(cfg.Seed)}
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+	r.loop()
+	return r.results()
+}
+
+type runner struct {
+	cfg   Config
+	insts []*Instance
+	rand  *sim.Rand
+
+	load      *metrics.EpochLoad   // machine-wide, for contention
+	instLoads []*metrics.EpochLoad // per instance, for its statistics
+	stats     []*metrics.RunStats
+	ctrls     []*carrefour.Controller
+	initTimes []sim.Time
+	ctrlUtil  []float64
+	now       sim.Time
+	// moves accumulates page-migration traffic (from,to) to charge next
+	// epoch.
+	moves map[[2]numa.NodeID]float64
+	// unitsScratch[i][t] is thread t of instance i's work units this
+	// epoch, recorded during the final fill.
+	units [][]float64
+}
+
+func (r *runner) setup() error {
+	epochSec := float64(r.cfg.Epoch) / 1e9
+	n := r.cfg.Topo.NumNodes()
+	r.load = metrics.NewEpochLoad(r.cfg.Topo, epochSec, r.cfg.CtrlBWBps)
+	r.ctrlUtil = make([]float64, n)
+	r.moves = make(map[[2]numa.NodeID]float64)
+	for _, in := range r.insts {
+		if err := in.Prof.Validate(); err != nil {
+			return err
+		}
+		if in.NThreads <= 0 {
+			return fmt.Errorf("engine: instance %s has no threads", in.Prof.Name)
+		}
+		r.instLoads = append(r.instLoads, metrics.NewEpochLoad(r.cfg.Topo, epochSec, r.cfg.CtrlBWBps))
+		r.stats = append(r.stats, metrics.NewRunStats(r.cfg.Topo))
+		r.ctrls = append(r.ctrls, carrefour.New(r.cfg.Carrefour))
+		r.units = append(r.units, make([]float64, in.NThreads))
+		if err := r.buildInstance(in); err != nil {
+			return err
+		}
+	}
+	r.initTimes = make([]sim.Time, len(r.insts))
+	for i, in := range r.insts {
+		r.initTimes[i] = r.materialize(in)
+	}
+	return nil
+}
+
+// buildInstance creates threads and sizes regions.
+func (r *runner) buildInstance(in *Instance) error {
+	nNodes := r.cfg.Topo.NumNodes()
+	idealNs := in.Prof.CPUNsPerUnit() + 71.0
+	in.workPerThread = in.Prof.BaselineSeconds * 1e9 / idealNs
+	for i := 0; i < in.NThreads; i++ {
+		in.Threads = append(in.Threads, &Thread{
+			ID:       i,
+			Node:     in.Backend.ThreadNode(i),
+			CPUShare: in.Backend.CPUShare(i),
+			WorkLeft: in.workPerThread,
+			latNs:    100,
+		})
+	}
+	pages := int(in.Prof.FootprintMB * (1 << 20) / float64(r.cfg.Scale) / 4096)
+	if pages < 512 {
+		pages = 512
+	}
+	in.footprintBytes = float64(pages) * 4096
+	hotPages := pages / 5000
+	if hotPages < 8 {
+		hotPages = 8
+	}
+	if hotPages > 512 {
+		hotPages = 512
+	}
+	rest := pages - hotPages
+	wH, wM, wP, wD := in.streams()
+	_ = wH
+	denom := wM + wP + wD
+	if denom <= 0 {
+		denom = 1
+		wD = 1
+	}
+	masterPages := int(float64(rest) * wM / denom)
+	privPages := int(float64(rest) * wP / denom)
+	distPages := rest - masterPages - privPages
+
+	in.hot = NewRegion("hot", RegionHot, 0, nNodes)
+	in.master = NewRegion("master", RegionMaster, 0, nNodes)
+	for i := 0; i < in.NThreads; i++ {
+		in.dist = append(in.dist, NewRegion(fmt.Sprintf("dist%d", i), RegionDist, i, nNodes))
+		in.priv = append(in.priv, NewRegion(fmt.Sprintf("priv%d", i), RegionPrivate, i, nNodes))
+	}
+	in.sizes = regionSizes{hot: hotPages, master: masterPages, priv: privPages, dist: distPages}
+	if ws := in.Prof.WorkingSet; ws > 0 && ws < 1 {
+		head := func(n int) int {
+			h := int(ws * float64(n))
+			if h < 1 {
+				h = 1
+			}
+			return h
+		}
+		in.master.SetAccessHead(head(masterPages))
+		for i := 0; i < in.NThreads; i++ {
+			in.dist[i].SetAccessHead(head(distPages / in.NThreads))
+			in.priv[i].SetAccessHead(head(privPages / in.NThreads))
+		}
+	}
+
+	path, placement := in.Backend.IO()
+	_ = path
+	in.ioStream = iosim.Stream{
+		DemandBps:  in.Prof.DiskMBps * 1.06e6,
+		ReqBytes:   in.Prof.DiskReqBytes,
+		Placement:  placement,
+		BufferNode: r.cfg.Disk.Node,
+		HomeNodes:  in.Backend.HomeNodes(),
+		Penalty:    in.Prof.IOPenalty,
+	}
+	in.pendingMoveBytes = make(map[[2]numa.NodeID]float64)
+	return nil
+}
+
+// materialize first-touches every region with its natural toucher: the
+// master thread touches the hot and master regions, each thread its
+// private region and its slice of the distributed region. The time is
+// charged to the touching threads as debt (the application's init
+// phase).
+func (r *runner) materialize(in *Instance) sim.Time {
+	var total sim.Time
+	charge := func(t *Thread, d sim.Time) {
+		t.DebtNs += float64(d)
+		if d > total {
+			total = d
+		}
+	}
+	master := in.Threads[0]
+	cost, err := in.Backend.Place(in.hot, in.sizes.hot, master.Node)
+	if err == nil {
+		charge(master, cost)
+		cost, err = in.Backend.Place(in.master, in.sizes.master, master.Node)
+	}
+	if err == nil {
+		charge(master, cost)
+		slice := in.sizes.dist / in.NThreads
+		for _, t := range in.Threads {
+			want := slice
+			if t.ID == in.NThreads-1 {
+				want = in.sizes.dist - slice*(in.NThreads-1)
+			}
+			if cost, err = in.Backend.Place(in.dist[t.ID], want, t.Node); err != nil {
+				break
+			}
+			charge(t, cost)
+		}
+	}
+	if err == nil {
+		per := in.sizes.priv / in.NThreads
+		for _, t := range in.Threads {
+			if cost, err = in.Backend.Place(in.priv[t.ID], per, t.Node); err != nil {
+				break
+			}
+			charge(t, cost)
+		}
+	}
+	if err != nil {
+		panic(fmt.Sprintf("engine: materializing %s: %v", in.Prof.Name, err))
+	}
+	return total
+}
+
+func (r *runner) loop() {
+	maxEpochs := int(r.cfg.MaxTime / r.cfg.Epoch)
+	for step := 0; step < maxEpochs; step++ {
+		r.now = sim.Time(step) * r.cfg.Epoch
+		if r.allDone() {
+			return
+		}
+		// Damped fixed-point iterations couple access rates and latency
+		// (undamped, saturated configurations oscillate between idle and
+		// saturated estimates).
+		const iters = 4
+		for iter := 0; iter < iters; iter++ {
+			r.fillLoads(iter == iters-1)
+			r.updateLatencies()
+		}
+		r.progress()
+		for i := range r.insts {
+			r.stats[i].Observe(r.instLoads[i])
+		}
+		if r.cfg.CarrefourEvery > 0 && step%r.cfg.CarrefourEvery == 0 {
+			for i, in := range r.insts {
+				if in.Carrefour && !in.done {
+					r.carrefourTick(i, in)
+				}
+			}
+		}
+	}
+	// Timed out: mark unfinished instances.
+	for _, in := range r.insts {
+		if !in.done {
+			in.done = true
+			in.Completion = r.cfg.MaxTime
+			for _, t := range in.Threads {
+				if !t.Done {
+					t.Done = true
+					t.DoneAt = r.cfg.MaxTime
+				}
+			}
+		}
+	}
+}
+
+func (r *runner) allDone() bool {
+	for _, in := range r.insts {
+		if !in.done {
+			return false
+		}
+	}
+	return true
+}
+
+// fillLoads recomputes the epoch's traffic from current latency
+// estimates. When record is true, per-thread work units are captured for
+// the progress step and per-instance loads are filled.
+func (r *runner) fillLoads(record bool) {
+	r.load.Reset()
+	epochNs := float64(r.cfg.Epoch)
+	for i, in := range r.insts {
+		il := r.instLoads[i]
+		if record {
+			il.Reset()
+		}
+		if in.done {
+			continue
+		}
+		ioFactor := r.ioFactor(in, record, il)
+		wH, wM, wP, wD := in.streams()
+		cross := in.Prof.CrossShare
+		hotD := in.hot.HotDist()
+		masterD := in.master.AccessDist()
+		distAll := combinedDist(in.dist)
+		var totalMisses float64
+		for ti, t := range in.Threads {
+			if t.Done {
+				continue
+			}
+			budget := epochNs * t.CPUShare
+			avail := budget - t.DebtNs
+			if avail < 0 {
+				avail = 0
+			}
+			eff := avail * (1 - r.overheadFrac(in)) * ioFactor
+			units := eff / (in.Prof.CPUNsPerUnit() + t.latNs)
+			if record {
+				r.units[i][ti] = units
+			}
+			totalMisses += units
+			emit := func(w float64, dist []float64) {
+				if w <= 0 {
+					return
+				}
+				for n, share := range dist {
+					if share <= 0 {
+						continue
+					}
+					cnt := units * w * share
+					r.load.AddAccesses(t.Node, numa.NodeID(n), cnt)
+					if record {
+						il.AddAccesses(t.Node, numa.NodeID(n), cnt)
+					}
+				}
+			}
+			if in.hot.Replicated {
+				// Replicated pages have a local copy on every node.
+				r.load.AddAccesses(t.Node, t.Node, units*wH)
+				if record {
+					il.AddAccesses(t.Node, t.Node, units*wH)
+				}
+			} else {
+				emit(wH, hotD)
+			}
+			emit(wM, masterD)
+			emit(wP, in.priv[t.ID].AccessDist())
+			emit(wD*(1-cross), in.dist[t.ID].AccessDist())
+			emit(wD*cross, distAll)
+		}
+		// Temporary remote burst against a private region: traffic that
+		// misleads Carrefour (§3.5.2).
+		if in.burstLeft > 0 && in.burstRegion != nil {
+			burst := 0.3 * totalMisses
+			for n, share := range in.burstRegion.Dist() {
+				if share > 0 {
+					r.load.AddAccesses(in.burstNode, numa.NodeID(n), burst*share)
+					if record {
+						il.AddAccesses(in.burstNode, numa.NodeID(n), burst*share)
+					}
+				}
+			}
+			if record {
+				in.burstLeft--
+			}
+		}
+		// Page-migration copy traffic from the previous Carrefour tick.
+		for pair, bytes := range in.pendingMoveBytes {
+			r.load.AddDMA(pair[0], pair[1], bytes)
+			if record {
+				il.AddDMA(pair[0], pair[1], bytes)
+				delete(in.pendingMoveBytes, pair)
+			}
+		}
+	}
+}
+
+// ioFactor returns the progress multiplier from disk throughput and
+// charges DMA traffic.
+func (r *runner) ioFactor(in *Instance, record bool, il *metrics.EpochLoad) float64 {
+	if in.ioStream.DemandBps <= 0 {
+		return 1
+	}
+	path, _ := in.Backend.IO()
+	delivered, progress := in.ioStream.Delivered(path, r.cfg.Disk)
+	epochSec := float64(r.cfg.Epoch) / 1e9
+	bytes := delivered * epochSec
+	targets := []numa.NodeID{in.ioStream.BufferNode}
+	if in.ioStream.Placement == iosim.BufferScattered && len(in.ioStream.HomeNodes) > 0 {
+		targets = in.ioStream.HomeNodes
+	}
+	per := bytes / float64(len(targets))
+	for _, n := range targets {
+		r.load.AddDMA(r.cfg.Disk.Node, n, per)
+		if record {
+			il.AddDMA(r.cfg.Disk.Node, n, per)
+		}
+	}
+	return progress
+}
+
+// overheadFrac is the fraction of CPU time lost to virtualized IPIs,
+// allocator-churn notifications and Carrefour sampling.
+func (r *runner) overheadFrac(in *Instance) float64 {
+	m := ipi.Model{Virtualized: in.Backend.Virtualized(), MCSSpin: in.MCS}
+	f := m.OverheadFraction(in.Prof.CtxSwitchKps*1000, in.Prof.SyncAmplification, in.Prof.UsesPthreadSync)
+	f += in.Backend.ChurnOverhead(in.Prof.ReleasesPerSec, in.NThreads)
+	if in.Carrefour {
+		f += 0.02 // hardware-counter sampling cost
+	}
+	if f > 0.97 {
+		f = 0.97
+	}
+	return f
+}
+
+// updateLatencies recomputes each thread's average memory access latency
+// from the current loads.
+func (r *runner) updateLatencies() {
+	lm := r.cfg.Topo.Latency
+	for n := range r.ctrlUtil {
+		r.ctrlUtil[n] = r.load.CtrlUtil(numa.NodeID(n))
+	}
+	for _, in := range r.insts {
+		if in.done {
+			continue
+		}
+		wH, wM, wP, wD := in.streams()
+		cross := in.Prof.CrossShare
+		hotD := in.hot.HotDist()
+		masterD := in.master.AccessDist()
+		distAll := combinedDist(in.dist)
+		for _, t := range in.Threads {
+			if t.Done {
+				continue
+			}
+			var cyc float64
+			acc := func(w float64, dist []float64) {
+				if w <= 0 {
+					return
+				}
+				for n, share := range dist {
+					if share <= 0 {
+						continue
+					}
+					hops := r.cfg.Topo.Distance(t.Node, numa.NodeID(n))
+					link := r.load.PathLinkUtil(t.Node, numa.NodeID(n))
+					cyc += w * share * lm.AccessCycles(hops, r.ctrlUtil[n], link)
+				}
+			}
+			if in.hot.Replicated {
+				local := make([]float64, len(hotD))
+				local[t.Node] = 1
+				acc(wH, local)
+			} else {
+				acc(wH, hotD)
+			}
+			acc(wM, masterD)
+			acc(wP, in.priv[t.ID].AccessDist())
+			acc(wD*(1-cross), in.dist[t.ID].AccessDist())
+			acc(wD*cross, distAll)
+			if r.cfg.TLB != nil {
+				ws := in.footprintBytes * in.Prof.WorkingSet / float64(in.NThreads)
+				cyc += r.cfg.TLB.WalkPenaltyCycles(ws, in.LargePages, in.Backend.Virtualized())
+			}
+			t.latNs = 0.5*t.latNs + 0.5*lm.CyclesToNanos(cyc)
+		}
+	}
+}
+
+// progress applies the recorded units, consumes debt, and detects
+// completion.
+func (r *runner) progress() {
+	epochNs := float64(r.cfg.Epoch)
+	for i, in := range r.insts {
+		if in.done {
+			continue
+		}
+		for ti, t := range in.Threads {
+			if t.Done {
+				continue
+			}
+			budget := epochNs * t.CPUShare
+			if t.DebtNs > 0 {
+				pay := t.DebtNs
+				if pay > budget {
+					pay = budget
+				}
+				t.DebtNs -= pay
+			}
+			units := r.units[i][ti]
+			if units <= 0 {
+				continue
+			}
+			if units >= t.WorkLeft {
+				frac := t.WorkLeft / units
+				t.WorkLeft = 0
+				t.Done = true
+				t.DoneAt = r.now + sim.Time(frac*float64(r.cfg.Epoch))
+				continue
+			}
+			t.WorkLeft -= units
+		}
+		if in.AllDone() {
+			in.done = true
+			var last sim.Time
+			for _, t := range in.Threads {
+				if t.DoneAt > last {
+					last = t.DoneAt
+				}
+			}
+			in.Completion = last
+		}
+	}
+}
+
+// carrefourTick runs one decision interval of the dynamic policy for
+// instance i, charges its costs and schedules its copy traffic.
+func (r *runner) carrefourTick(i int, in *Instance) {
+	// Maybe start a misleading burst (§3.5.2).
+	if in.burstLeft <= 0 && in.Prof.Burstiness > 0 && len(in.priv) > 0 {
+		if r.rand.Float64() < in.Prof.Burstiness {
+			in.burstRegion = in.priv[r.rand.Intn(len(in.priv))]
+			owner := in.burstRegion.Owner
+			for {
+				n := numa.NodeID(r.rand.Intn(r.cfg.Topo.NumNodes()))
+				if n != in.Threads[owner].Node {
+					in.burstNode = n
+					break
+				}
+			}
+			in.burstLeft = r.cfg.CarrefourEvery + 1
+		}
+	}
+	var moves []carrefour.Move
+	tick := carrefour.Tick{
+		CtrlUtil:    append([]float64(nil), r.ctrlUtil...),
+		MaxLinkUtil: r.load.MaxLinkUtil(),
+		Samples:     r.samples(in, &moves),
+		Rand:        r.rand,
+	}
+	res := r.ctrls[i].Step(tick)
+	if res.Migrated == 0 {
+		return
+	}
+	// Each migration copies one page across the interconnect; charge the
+	// bytes to the next epoch and the CPU cost as debt spread across the
+	// instance's threads.
+	for _, mv := range moves {
+		in.pendingMoveBytes[[2]numa.NodeID{mv.From, mv.To}] += 4096
+	}
+	costNs := float64(res.Migrated) * 6000 / float64(in.NThreads)
+	for _, t := range in.Threads {
+		if !t.Done {
+			t.DebtNs += costNs
+		}
+	}
+}
+
+// samples builds the Carrefour view of the instance's regions.
+func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Sample {
+	wH, wM, wP, wD := in.streams()
+	nNodes := r.cfg.Topo.NumNodes()
+	// Accessor distribution of shared regions: the running threads.
+	shared := make([]float64, nNodes)
+	running := 0
+	for _, t := range in.Threads {
+		if !t.Done {
+			shared[t.Node]++
+			running++
+		}
+	}
+	if running > 0 {
+		for n := range shared {
+			shared[n] /= float64(running)
+		}
+	}
+	mk := func(reg *Region, share float64, accessors []float64, hot bool) carrefour.Sample {
+		return carrefour.Sample{
+			Set:         &pageSet{r: reg, b: in.Backend, moves: moves},
+			AccessShare: share,
+			Accessors:   accessors,
+			Hot:         hot,
+			ReadOnly:    hot && in.Prof.ReadFrac >= 0.7,
+		}
+	}
+	out := []carrefour.Sample{
+		mk(in.hot, wH, shared, true),
+		mk(in.master, wM, shared, false),
+	}
+	cross := in.Prof.CrossShare
+	for _, reg := range in.dist {
+		acc := make([]float64, nNodes)
+		owner := in.Threads[reg.Owner].Node
+		for n := range acc {
+			acc[n] = cross * shared[n]
+		}
+		acc[owner] += 1 - cross
+		out = append(out, mk(reg, wD/float64(in.NThreads), acc, false))
+	}
+	for _, reg := range in.priv {
+		acc := make([]float64, nNodes)
+		share := wP / float64(in.NThreads)
+		if in.burstLeft > 0 && reg == in.burstRegion {
+			// The sampler currently sees mostly the burst's remote
+			// accesses against this region.
+			acc[in.burstNode] = 1
+			share += 0.3
+		} else {
+			acc[in.Threads[reg.Owner].Node] = 1
+		}
+		out = append(out, mk(reg, share, acc, false))
+	}
+	return out
+}
+
+// combinedDist averages the placement distributions of a region group,
+// weighting by page count.
+func combinedDist(regs []*Region) []float64 {
+	if len(regs) == 0 {
+		return nil
+	}
+	out := make([]float64, regs[0].nNodes)
+	for _, r := range regs {
+		if len(r.Pages) == 0 {
+			continue
+		}
+		for n, share := range r.AccessDist() {
+			out[n] += share
+		}
+	}
+	total := 0.0
+	for _, x := range out {
+		total += x
+	}
+	if total > 0 {
+		for n := range out {
+			out[n] /= total
+		}
+	}
+	return out
+}
+
+// pageSet adapts a Region + Backend to carrefour.PageSet, recording each
+// move for traffic accounting.
+type pageSet struct {
+	r     *Region
+	b     Backend
+	moves *[]carrefour.Move
+}
+
+func (s *pageSet) Len() int                 { return s.r.Len() }
+func (s *pageSet) NodeOf(i int) numa.NodeID { return s.r.NodeOf(i) }
+
+// Replicate implements carrefour.Replicator: every node gets a copy of
+// the set, so subsequent accesses are local. Idempotent.
+func (s *pageSet) Replicate() bool {
+	if s.r.Replicated {
+		return false
+	}
+	s.r.Replicated = true
+	return true
+}
+func (s *pageSet) Migrate(i int, to numa.NodeID) bool {
+	from := s.r.NodeOf(i)
+	if !s.b.Migrate(s.r, i, to) {
+		return false
+	}
+	*s.moves = append(*s.moves, carrefour.Move{From: from, To: to})
+	return true
+}
+
+func (r *runner) results() ([]Result, error) {
+	out := make([]Result, 0, len(r.insts))
+	for i, in := range r.insts {
+		st := r.stats[i]
+		out = append(out, Result{
+			App:              in.Prof.Name,
+			Backend:          in.Backend.Name(),
+			Completion:       in.Completion,
+			TimedOut:         in.Completion >= r.cfg.MaxTime,
+			InitTime:         r.initTimes[i],
+			Imbalance:        st.Imbalance(),
+			InterconnectLoad: st.InterconnectLoad(),
+			Locality:         st.LocalityRatio(),
+			Migrated:         uint64(r.ctrls[i].Interleaved + r.ctrls[i].LocalityMoved),
+			Stats:            st,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+
+	xennuma "repro"
+	"repro/internal/engine"
+)
+
+// Pair names two applications sharing the machine.
+type Pair struct{ A, B string }
+
+// Fig8Pairs are the colocated-VM configurations (24 vCPUs each, half the
+// nodes each). The paper's figure names five pairs; its text highlights
+// cg.C with sp.C as the best case. The axis labels are not recoverable
+// from the paper text, so the remaining pairs cover the three imbalance
+// classes.
+var Fig8Pairs = []Pair{
+	{"cg.C", "sp.C"},
+	{"facesim", "streamcluster"},
+	{"kmeans", "pca"},
+	{"ft.C", "bt.C"},
+	{"wc", "wrmem"},
+}
+
+// Fig9Pairs are the consolidated-VM configurations (48 vCPUs each, every
+// physical CPU running two vCPUs); six pairs, for eleven configurations
+// total as in the paper.
+var Fig9Pairs = []Pair{
+	{"cg.C", "sp.C"},
+	{"facesim", "kmeans"},
+	{"streamcluster", "pca"},
+	{"bt.C", "lu.C"},
+	{"wc", "wrmem"},
+	{"ft.C", "mg.D"},
+}
+
+// XenPair runs (and memoizes) a two-VM configuration under Xen+.
+func (s *Suite) XenPair(a, polA, b, polB string, mode xennuma.PairMode, swap bool) (engine.Result, engine.Result) {
+	key := fmt.Sprintf("pair/%s=%s/%s=%s/mode=%d/swap=%v", a, polA, b, polB, mode, swap)
+	keyA, keyB := key+"/A", key+"/B"
+	s.mu.Lock()
+	ra, okA := s.cache[keyA]
+	rb, okB := s.cache[keyB]
+	s.mu.Unlock()
+	if okA && okB {
+		return ra, rb
+	}
+	o := s.Opt
+	o.XenPlus = true
+	ra, rb, err := xennuma.RunXenPair(a, xennuma.MustPolicy(polA), b, xennuma.MustPolicy(polB), mode, swap, o)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", key, err))
+	}
+	s.mu.Lock()
+	s.cache[keyA], s.cache[keyB] = ra, rb
+	s.mu.Unlock()
+	return ra, rb
+}
+
+// pairImprovement runs one pair with the default policy (round-1G) and
+// with each VM's best single-VM policy, returning the improvement per
+// VM. Colocated runs average the two node assignments, as the paper does
+// (§5.4.2).
+func (s *Suite) pairImprovement(p Pair, mode xennuma.PairMode) (imprA, imprB float64, polA, polB string) {
+	polA, _ = s.BestXen(p.A)
+	polB, _ = s.BestXen(p.B)
+	avg := func(pa, pb string) (float64, float64) {
+		a1, b1 := s.XenPair(p.A, pa, p.B, pb, mode, false)
+		if mode == xennuma.Consolidated {
+			return float64(a1.Completion), float64(b1.Completion)
+		}
+		a2, b2 := s.XenPair(p.A, pa, p.B, pb, mode, true)
+		return (float64(a1.Completion) + float64(a2.Completion)) / 2,
+			(float64(b1.Completion) + float64(b2.Completion)) / 2
+	}
+	baseA, baseB := avg("round-1g", "round-1g")
+	bestA, bestB := avg(polA, polB)
+	return baseA/bestA - 1, baseB/bestB - 1, polA, polB
+}
+
+func pairFigure(s *Suite, id, title string, pairs []Pair, mode xennuma.PairMode) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"pair", "policy A", "impr A", "policy B", "impr B"},
+	}
+	over50 := 0
+	for _, p := range pairs {
+		ia, ib, pa, pb := s.pairImprovement(p, mode)
+		if ia > 0.5 || ib > 0.5 {
+			over50++
+		}
+		t.Rows = append(t.Rows, []string{
+			p.A + " + " + p.B, Abbrev(pa), pct(ia), Abbrev(pb), pct(ib)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d/%d pairs improve at least one VM by more than 50%%", over50, len(pairs)))
+	return t
+}
+
+// Fig8 reports the improvement of the best NUMA policies over the Xen+
+// default with two colocated VMs (24 vCPUs each).
+func Fig8(s *Suite) *Table {
+	return pairFigure(s, "fig8",
+		"Improvement of Xen+NUMA over Xen+ with 2 colocated VMs (24 vCPUs each)",
+		Fig8Pairs, xennuma.Colocated)
+}
+
+// Fig9 reports the improvement with two consolidated VMs (48 vCPUs
+// each, two vCPUs per physical CPU).
+func Fig9(s *Suite) *Table {
+	return pairFigure(s, "fig9",
+		"Improvement of Xen+NUMA over Xen+ with 2 consolidated VMs (48 vCPUs each)",
+		Fig9Pairs, xennuma.Consolidated)
+}
+
+// AllExperiments runs every driver in paper order.
+func AllExperiments(s *Suite) []*Table {
+	return []*Table{
+		Fig1(s), Fig2(s), Table1(s), Table2(s), Table3(s), Table4(s),
+		Fig5(s), Fig6(s), Fig7(s), Fig8(s), Fig9(s), Fig10(s),
+		IOTable(s), HypercallTable(s),
+	}
+}
+
+// ByID returns the driver for an experiment id, or nil.
+func ByID(id string) func(*Suite) *Table {
+	m := map[string]func(*Suite) *Table{
+		"fig1": Fig1, "fig2": Fig2, "table1": Table1, "table2": Table2,
+		"table3": Table3, "table4": Table4, "fig5": Fig5, "fig6": Fig6,
+		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10,
+		"io": IOTable, "hcall": HypercallTable,
+	}
+	return m[id]
+}
+
+// IDs lists the experiment ids in paper order.
+func IDs() []string {
+	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "io", "hcall"}
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	xennuma "repro"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Suite runs and memoizes simulations so the experiments can share
+// results (fig6, fig10 and table4 reuse the fig2/fig7 sweeps). It is
+// safe for concurrent use.
+type Suite struct {
+	// Opt is the base options; policy/baseline fields are overridden per
+	// run.
+	Opt xennuma.Options
+
+	mu    sync.Mutex
+	cache map[string]engine.Result
+}
+
+// NewSuite returns a suite at the given scale (0 = default).
+func NewSuite(scale int) *Suite {
+	return &Suite{
+		Opt:   xennuma.Options{Scale: scale},
+		cache: make(map[string]engine.Result),
+	}
+}
+
+// LinuxPolicies are the four combinations of Figure 2.
+var LinuxPolicies = []string{"first-touch", "first-touch/carrefour", "round-4k", "round-4k/carrefour"}
+
+// XenPolicies are the five configurations of Figure 7.
+var XenPolicies = []string{"round-1g", "round-4k", "first-touch", "round-4k/carrefour", "first-touch/carrefour"}
+
+func (s *Suite) run(key string, fn func() (engine.Result, error)) engine.Result {
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	r, err := fn()
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", key, err))
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Linux runs app natively under pol; mcs selects the MCS-lock variant
+// (LinuxNUMA baseline).
+func (s *Suite) Linux(app, pol string, mcs bool) engine.Result {
+	key := fmt.Sprintf("linux/%s/%s/mcs=%v", app, pol, mcs)
+	return s.run(key, func() (engine.Result, error) {
+		o := s.Opt
+		o.MCS = mcs
+		return xennuma.RunLinux(app, xennuma.MustPolicy(pol), o)
+	})
+}
+
+// Xen runs app in a single 48-vCPU VM under pol; xenplus enables the
+// improved baseline (passthrough + MCS).
+func (s *Suite) Xen(app, pol string, xenplus bool) engine.Result {
+	key := fmt.Sprintf("xen/%s/%s/plus=%v", app, pol, xenplus)
+	return s.run(key, func() (engine.Result, error) {
+		o := s.Opt
+		o.XenPlus = xenplus
+		return xennuma.RunXen(app, xennuma.MustPolicy(pol), o)
+	})
+}
+
+// BestLinux returns the policy minimizing completion natively (the
+// LinuxNUMA policy of Table 4) and its result.
+func (s *Suite) BestLinux(app string) (string, engine.Result) {
+	return s.best(LinuxPolicies, func(p string) engine.Result { return s.Linux(app, p, true) })
+}
+
+// BestXen returns the policy minimizing completion under Xen+ (the
+// Xen+NUMA policy of Table 4) and its result.
+func (s *Suite) BestXen(app string) (string, engine.Result) {
+	return s.best(XenPolicies, func(p string) engine.Result { return s.Xen(app, p, true) })
+}
+
+func (s *Suite) best(pols []string, run func(string) engine.Result) (string, engine.Result) {
+	bestPol, bestRes := "", engine.Result{}
+	for _, p := range pols {
+		r := run(p)
+		if bestPol == "" || r.Completion < bestRes.Completion {
+			bestPol, bestRes = p, r
+		}
+	}
+	return bestPol, bestRes
+}
+
+// Apps returns the evaluation's application list.
+func Apps() []string { return workload.Names() }
+
+// CacheKeys lists memoized runs (for tests).
+func (s *Suite) CacheKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

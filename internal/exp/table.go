@@ -1,0 +1,97 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation from the simulation: one driver per artefact, each
+// returning a renderable Table whose rows mirror what the paper reports.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string // "fig1", "table3", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned ASCII.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a ratio as a signed percentage.
+func pct(x float64) string { return fmt.Sprintf("%+.0f%%", 100*x) }
+
+// f0 formats a float with no decimals.
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// RenderMarkdown formats the table as GitHub-flavoured Markdown, for
+// embedding into EXPERIMENTS.md-style reports.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	row := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}

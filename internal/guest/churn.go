@@ -1,0 +1,81 @@
+package guest
+
+import "repro/internal/xen"
+
+// ChurnModel predicts the steady-state per-release overhead of the page
+// notification path for allocator-churn-heavy applications (the Mosbench
+// suite with the Streamflow allocator releases a physical page every
+// ~15 µs per core, §4.2.3). Individual operations at that rate cannot be
+// simulated event-by-event inside the epoch engine, so the engine charges
+// threads an analytic amortized cost derived from the same constants the
+// event-level driver uses — the two are cross-checked in tests.
+type ChurnModel struct {
+	Cfg QueueConfig
+	// Threads is the number of cores releasing concurrently.
+	Threads int
+}
+
+// Hypercall service times in nanoseconds, mirroring the xen cost model.
+const (
+	unbatchedServiceNs = float64(xen.CostHypercall) // world switch per op
+	// unbatchedLockNs is the serialized hypervisor section of the
+	// per-release hypercall (page lookup + entry invalidation under the
+	// global lock). Its value makes a 48-core wrmem (one release per
+	// 15 µs per core) lose 2/3 of its throughput, the paper's "divides
+	// by 3" observation.
+	unbatchedLockNs = 650.0
+)
+
+// flushCostNs returns the cost of one flush hypercall for a full batch.
+func (m ChurnModel) flushCostNs() float64 {
+	return float64(xen.CostHypercall) + float64(xen.CostQueueSend) +
+		float64(m.Cfg.BatchSize)*float64(xen.CostInvalidateEntry)
+}
+
+// PerReleaseNs returns the expected cost, in nanoseconds, that one
+// release operation adds to the releasing thread when every one of
+// Threads cores releases a page every perCoreIntervalNs nanoseconds.
+func (m ChurnModel) PerReleaseNs(perCoreIntervalNs float64) float64 {
+	if perCoreIntervalNs <= 0 {
+		return 0
+	}
+	totalRate := float64(m.Threads) / perCoreIntervalNs // ops per ns
+	if m.Cfg.Unbatched {
+		// Every release performs a hypercall whose hypervisor section is
+		// serialized on a global lock. When offered load exceeds the
+		// lock's capacity, each core effectively waits for all others.
+		rho := totalRate * unbatchedLockNs
+		if rho >= 1 {
+			return unbatchedServiceNs + unbatchedLockNs*float64(m.Threads)
+		}
+		return unbatchedServiceNs + unbatchedLockNs/(1-rho)
+	}
+	// Batched: each op pays the queue append; every BatchSize ops one
+	// core pays the flush while holding that queue's lock, so other
+	// cores hitting the same queue wait. M/D/1-style waiting on the
+	// per-queue flush utilization.
+	flush := m.flushCostNs()
+	perQueueFlushRate := totalRate / float64(m.Cfg.Queues) / float64(m.Cfg.BatchSize)
+	rho := perQueueFlushRate * flush
+	var wait float64
+	switch {
+	case rho >= 0.95:
+		// Saturated queue lock: ops back up behind in-flight flushes.
+		wait = flush * 19 // 0.95/(1-0.95)
+	default:
+		wait = flush * rho / (1 - rho)
+	}
+	amortized := (flush + wait) / float64(m.Cfg.BatchSize)
+	return float64(CostQueueAdd) + amortized
+}
+
+// OverheadFraction returns the fraction of a core's time consumed by the
+// release path at the given per-core release interval: values near 0 mean
+// the notification mechanism is free; 2.0 means the application is three
+// times slower.
+func (m ChurnModel) OverheadFraction(perCoreIntervalNs float64) float64 {
+	if perCoreIntervalNs <= 0 {
+		return 0
+	}
+	return m.PerReleaseNs(perCoreIntervalNs) / perCoreIntervalNs
+}

@@ -1,0 +1,85 @@
+package ipi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTotalsMatchPaper(t *testing.T) {
+	// Figure 5: ~0.9 µs native, ~10.9 µs guest.
+	if got := NativeCost(); got != 900*sim.Nanosecond {
+		t.Fatalf("native IPI = %v, want 900ns", got)
+	}
+	if got := GuestCost(); got != 10900*sim.Nanosecond {
+		t.Fatalf("guest IPI = %v, want 10.9µs", got)
+	}
+}
+
+func TestBreakdownStagesPositiveAndOrdered(t *testing.T) {
+	for _, s := range Breakdown() {
+		if s.Native <= 0 || s.Guest <= 0 {
+			t.Fatalf("stage %q has non-positive cost", s.Name)
+		}
+		if s.Guest <= s.Native {
+			t.Fatalf("stage %q not more expensive in guest mode", s.Name)
+		}
+	}
+}
+
+func TestOverheadFractionNativeIsZero(t *testing.T) {
+	m := Model{Virtualized: false}
+	if f := m.OverheadFraction(100000, 2, false); f != 0 {
+		t.Fatalf("native overhead = %v (baseline already includes native IPIs)", f)
+	}
+}
+
+func TestOverheadFractionGuest(t *testing.T) {
+	m := Model{Virtualized: true}
+	// 10k wakeups/s × 10 µs extra = 10 %.
+	f := m.OverheadFraction(10000, 1, false)
+	if f < 0.095 || f > 0.105 {
+		t.Fatalf("guest overhead = %v, want ~0.10", f)
+	}
+	// Amplification scales it.
+	if f2 := m.OverheadFraction(10000, 2, false); f2 < 1.9*f || f2 > 2.1*f {
+		t.Fatalf("amplification not applied: %v vs %v", f2, f)
+	}
+}
+
+func TestOverheadCapped(t *testing.T) {
+	m := Model{Virtualized: true}
+	if f := m.OverheadFraction(1e7, 10, false); f > 0.95 {
+		t.Fatalf("overhead uncapped: %v", f)
+	}
+}
+
+func TestMCSSpinRemovesPthreadWakeups(t *testing.T) {
+	m := Model{Virtualized: true, MCSSpin: true}
+	// pthread-blocking app: overhead collapses to the spin cost.
+	if f := m.OverheadFraction(29500, 1.5, true); f > 0.02 {
+		t.Fatalf("MCS did not remove pthread wakeups: %v", f)
+	}
+	// Futex/network blocking is unaffected (ua.C, memcached, §5.5).
+	withMCS := m.OverheadFraction(37400, 1.5, false)
+	without := Model{Virtualized: true}.OverheadFraction(37400, 1.5, false)
+	if withMCS != without {
+		t.Fatal("MCS affected non-pthread blocking")
+	}
+}
+
+func TestZeroRateZeroOverhead(t *testing.T) {
+	m := Model{Virtualized: true}
+	if m.OverheadFraction(0, 1, false) != 0 {
+		t.Fatal("zero wakeup rate has overhead")
+	}
+}
+
+func TestWakeupCost(t *testing.T) {
+	if (Model{Virtualized: true}).WakeupCost() != GuestCost() {
+		t.Fatal("guest wakeup cost wrong")
+	}
+	if (Model{}).WakeupCost() != NativeCost() {
+		t.Fatal("native wakeup cost wrong")
+	}
+}

@@ -1,0 +1,232 @@
+// Package policy defines the paper's contribution: the interface that
+// lets NUMA placement policies live inside the hypervisor (§4), and the
+// three static policies built on it (first-touch, round-4K, round-1G).
+// The dynamic Carrefour policy is layered on the same interface by
+// package carrefour.
+//
+// The interface has two sides, mirroring Figure 3 of the paper:
+//
+//   - The internal interface (DomainOps) is what a policy uses to talk to
+//     the hypervisor: map a physical page to a machine frame on a chosen
+//     node, and migrate a physical page to a new node.
+//   - The external interface is what the guest operating system uses to
+//     talk to the policy: a hypercall to select the policy
+//     (HypercallSetPolicy) and a hypercall carrying the batched queue of
+//     recently allocated and released physical pages
+//     (HypercallPageQueue, §4.2.3–4.2.4).
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/numa"
+	"repro/internal/pt"
+)
+
+// Kind names a static placement policy.
+type Kind int
+
+const (
+	// Round1G is Xen's default: memory allocated eagerly at domain
+	// creation in 1 GiB regions round-robin across the home nodes (§3.3).
+	Round1G Kind = iota
+	// Round4K statically maps each 4 KiB physical page round-robin
+	// across the home nodes at domain creation (§3.2).
+	Round4K
+	// FirstTouch maps a physical page on the node of the vCPU that first
+	// accesses it, using hypervisor page faults plus the page-queue
+	// hypercall to learn about guest-side page reuse (§3.1, §4.2).
+	FirstTouch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Round1G:
+		return "round-1G"
+	case Round4K:
+		return "round-4K"
+	case FirstTouch:
+		return "first-touch"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config selects a static policy and optionally stacks the dynamic
+// Carrefour policy on top, matching the four combinations the paper
+// evaluates.
+type Config struct {
+	Static    Kind
+	Carrefour bool
+}
+
+func (c Config) String() string {
+	if c.Carrefour {
+		return c.Static.String() + "/carrefour"
+	}
+	return c.Static.String()
+}
+
+// Hypercall numbers of the external interface.
+const (
+	// HypercallSetPolicy dynamically changes the NUMA policy of a
+	// running virtual machine (§4.2.1).
+	HypercallSetPolicy = 40
+	// HypercallPageQueue communicates a queue of recently allocated and
+	// released physical pages (§4.2.3).
+	HypercallPageQueue = 41
+)
+
+// PageOpKind tags entries of the page queue.
+type PageOpKind uint8
+
+const (
+	// OpAlloc records that the guest allocated the page to a process.
+	OpAlloc PageOpKind = iota
+	// OpRelease records that the guest returned the page to its free
+	// list (after zeroing it, §4.4.2).
+	OpRelease
+)
+
+func (k PageOpKind) String() string {
+	if k == OpAlloc {
+		return "alloc"
+	}
+	return "release"
+}
+
+// PageOp is one entry of the batched page queue: the operation and the
+// physical page it concerns (§4.2.4).
+type PageOp struct {
+	Kind PageOpKind
+	PFN  mem.PFN
+}
+
+// DomainOps is the internal interface (§4.1): everything a NUMA policy
+// may ask of the hypervisor for one domain. Package xen provides the
+// implementation.
+type DomainOps interface {
+	// HomeNodes returns the domain's home nodes in a fixed order.
+	HomeNodes() []numa.NodeID
+	// Table returns the domain's hypervisor page table.
+	Table() *pt.HypervisorTable
+	// AllocFrameOn allocates one machine frame on node, falling back
+	// round-robin to the other home nodes (then any node) when the bank
+	// is full, as Linux's first-touch does (§3.1).
+	AllocFrameOn(node numa.NodeID) (mem.MFN, error)
+	// FreeFrame returns a machine frame to the machine allocator.
+	FreeFrame(mfn mem.MFN)
+	// NodeOfFrame maps a machine frame to its NUMA node.
+	NodeOfFrame(mfn mem.MFN) numa.NodeID
+	// MapPage installs pfn→mfn and notifies placement observers.
+	// This is the first function of the internal interface.
+	MapPage(pfn mem.PFN, mfn mem.MFN)
+	// MigratePage moves pfn's backing frame to node, using the
+	// write-protect → copy → remap mechanism. This is the second
+	// function of the internal interface. It reports whether the page
+	// actually moved (false when already on node or unmapped).
+	MigratePage(pfn mem.PFN, to numa.NodeID) bool
+	// InvalidatePage clears pfn's entry, frees its frame, and notifies
+	// observers; subsequent accesses fault into the policy.
+	InvalidatePage(pfn mem.PFN)
+}
+
+// Policy is a hypervisor-resident NUMA placement policy for one domain.
+type Policy interface {
+	// Kind reports the static policy this implements.
+	Kind() Kind
+	// HandleFault resolves a hypervisor page fault on pfn caused by a
+	// vCPU running on accessor. It must leave the entry valid.
+	HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID, kind pt.FaultKind)
+	// OnPageQueue consumes one batched page queue sent by the guest
+	// through HypercallPageQueue. It returns the number of entries whose
+	// hypervisor page-table entry was invalidated (the dominant cost of
+	// the hypercall, §4.2.4).
+	OnPageQueue(d DomainOps, ops []PageOp) int
+}
+
+// New returns the policy implementation for kind.
+func New(kind Kind) Policy {
+	switch kind {
+	case Round1G:
+		return &roundStatic{kind: Round1G}
+	case Round4K:
+		return &roundStatic{kind: Round4K}
+	case FirstTouch:
+		return &firstTouch{}
+	default:
+		panic(fmt.Sprintf("policy: unknown kind %v", kind))
+	}
+}
+
+// roundStatic covers round-4K and round-1G: placement happens eagerly at
+// domain creation (by the domain builder), so at run time the policy only
+// needs to resolve stray faults — pages whose entries were invalidated by
+// an earlier first-touch phase — which it does round-robin, and to ignore
+// page queues.
+type roundStatic struct {
+	kind Kind
+	next int
+}
+
+func (p *roundStatic) Kind() Kind { return p.kind }
+
+func (p *roundStatic) HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID, kind pt.FaultKind) {
+	if kind == pt.FaultWriteProtected {
+		// Migration in flight finished; just unprotect.
+		d.Table().Unprotect(pfn)
+		return
+	}
+	homes := d.HomeNodes()
+	node := homes[p.next%len(homes)]
+	p.next++
+	mfn, err := d.AllocFrameOn(node)
+	if err != nil {
+		panic(fmt.Sprintf("policy: %v fault allocation failed: %v", p.kind, err))
+	}
+	d.MapPage(pfn, mfn)
+}
+
+func (p *roundStatic) OnPageQueue(DomainOps, []PageOp) int { return 0 }
+
+// firstTouch implements §4.2: released pages have their hypervisor
+// page-table entry invalidated so the next access faults, and the fault
+// allocates the backing frame on the accessor's node.
+type firstTouch struct{}
+
+func (p *firstTouch) Kind() Kind { return FirstTouch }
+
+func (p *firstTouch) HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID, kind pt.FaultKind) {
+	if kind == pt.FaultWriteProtected {
+		d.Table().Unprotect(pfn)
+		return
+	}
+	mfn, err := d.AllocFrameOn(accessor)
+	if err != nil {
+		panic(fmt.Sprintf("policy: first-touch fault allocation failed: %v", err))
+	}
+	d.MapPage(pfn, mfn)
+}
+
+// OnPageQueue implements the reconciliation protocol of §4.2.4: scan the
+// queue from the most recent operation, keep the first (most recent)
+// operation seen for each page, invalidate pages whose latest operation
+// is a release, and leave reallocated pages where they are (copying their
+// content would be too costly in the common case).
+func (p *firstTouch) OnPageQueue(d DomainOps, ops []PageOp) int {
+	seen := make(map[mem.PFN]struct{}, len(ops))
+	invalidated := 0
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		if _, dup := seen[op.PFN]; dup {
+			continue
+		}
+		seen[op.PFN] = struct{}{}
+		if op.Kind == OpRelease {
+			d.InvalidatePage(op.PFN)
+			invalidated++
+		}
+	}
+	return invalidated
+}

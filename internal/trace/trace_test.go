@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Record(Event{Kind: KindFault}) // must not panic
+	if r.Len() != 0 || r.Total() != 0 || r.Count(KindFault) != 0 {
+		t.Fatal("nil ring reported activity")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil ring returned events")
+	}
+	if r.Summary() != "trace: disabled" {
+		t.Fatalf("nil summary = %q", r.Summary())
+	}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Time: 0, Kind: KindHypercall, Arg0: uint64(i)})
+	}
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	// Oldest-first: 2, 3, 4.
+	for i, e := range evs {
+		if e.Arg0 != uint64(i+2) {
+			t.Fatalf("events = %v", evs)
+		}
+	}
+}
+
+func TestRingCounts(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Kind: KindFault})
+	r.Record(Event{Kind: KindFault})
+	r.Record(Event{Kind: KindMigrate})
+	if r.Count(KindFault) != 2 || r.Count(KindMigrate) != 1 || r.Count(KindIO) != 0 {
+		t.Fatal("per-kind counts wrong")
+	}
+	if !strings.Contains(r.Summary(), "fault=2") {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Kind: KindFault, Arg0: 1})
+	r.Record(Event{Kind: KindMigrate, Arg0: 2})
+	r.Record(Event{Kind: KindFault, Arg0: 3})
+	faults := r.Filter(KindFault)
+	if len(faults) != 2 || faults[0].Arg0 != 1 || faults[1].Arg0 != 3 {
+		t.Fatalf("filter = %v", faults)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 1500, Kind: KindMigrate, Dom: 2, Arg0: 7, Arg1: 3}
+	if got := e.String(); !strings.Contains(got, "dom2") || !strings.Contains(got, "migrate(7,3)") {
+		t.Fatalf("event string = %q", got)
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	all := All()
+	if len(all) != 29 {
+		t.Fatalf("have %d profiles, the paper evaluates 29", len(all))
+	}
+	for _, p := range all {
+		p := p
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSuites(t *testing.T) {
+	counts := map[string]int{}
+	for _, p := range All() {
+		counts[p.Suite]++
+	}
+	want := map[string]int{"parsec": 6, "npb": 9, "mosbench": 7, "xstream": 5, "ycsb": 2}
+	for suite, n := range want {
+		if counts[suite] != n {
+			t.Errorf("suite %s has %d apps, want %d", suite, counts[suite], n)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	p, err := Get("cg.C")
+	if err != nil || p.Name != "cg.C" {
+		t.Fatalf("Get(cg.C) = %v, %v", p.Name, err)
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestImbalanceInversion(t *testing.T) {
+	// HotShare + MasterShare must reconstruct the paper's first-touch
+	// imbalance through the √(N−1) relation.
+	for _, p := range All() {
+		wantConcentration := p.PaperFTImb / MaxImbalancePct
+		got := p.HotShare + p.MasterShare
+		// HotShare is capped at 0.85, and when the round-4K imbalance
+		// exceeds the first-touch one (swaptions) the hot share alone
+		// already exceeds the target; skip those boundary rows.
+		if p.HotShare == 0.85 || p.PaperR4KImb > p.PaperFTImb {
+			continue
+		}
+		if math.Abs(got-wantConcentration) > 0.01 {
+			t.Errorf("%s: hot+master = %.3f, want %.3f (ftImb %.0f%%)",
+				p.Name, got, wantConcentration, p.PaperFTImb)
+		}
+	}
+}
+
+func TestTable2Anchors(t *testing.T) {
+	// Spot-check exact Table 2 values.
+	checks := []struct {
+		app  string
+		disk float64
+		ctx  float64
+		foot float64
+	}{
+		{"dc.B", 175, 0.1, 39273},
+		{"memcached", 0, 127.1, 2205},
+		{"sssp", 261, 0, 12291},
+		{"swaptions", 0, 0, 4},
+		{"psearchy", 54, 0.8, 28576},
+	}
+	for _, c := range checks {
+		p, err := Get(c.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.DiskMBps != c.disk || p.CtxSwitchKps != c.ctx || p.FootprintMB != c.foot {
+			t.Errorf("%s: disk/ctx/foot = %v/%v/%v, want %v/%v/%v",
+				c.app, p.DiskMBps, p.CtxSwitchKps, p.FootprintMB, c.disk, c.ctx, c.foot)
+		}
+	}
+}
+
+func TestWrmemReleaseRate(t *testing.T) {
+	p, _ := Get("wrmem")
+	// §4.2.3: wrmem releases a page every 15 µs per core.
+	if math.Abs(p.ReleasesPerSec-1e9/15000) > 1 {
+		t.Fatalf("wrmem releases/s = %v, want ~66667", p.ReleasesPerSec)
+	}
+}
+
+func TestOnlyPthreadAppsAreMCSEligible(t *testing.T) {
+	// §5.3.2: the MCS mitigation was applied to facesim and
+	// streamcluster only.
+	for _, p := range All() {
+		want := p.Name == "facesim" || p.Name == "streamcluster"
+		if p.UsesPthreadSync != want {
+			t.Errorf("%s: UsesPthreadSync = %v, want %v", p.Name, p.UsesPthreadSync, want)
+		}
+	}
+}
+
+func TestMosbenchChurn(t *testing.T) {
+	for _, name := range []string{"wc", "wr", "wrmem", "pca", "kmeans", "psearchy", "memcached"} {
+		p, _ := Get(name)
+		if p.ReleasesPerSec <= 0 {
+			t.Errorf("%s (Streamflow allocator) has no release churn", name)
+		}
+	}
+	for _, name := range []string{"cg.C", "facesim", "belief"} {
+		p, _ := Get(name)
+		if p.ReleasesPerSec != 0 {
+			t.Errorf("%s has unexpected churn", name)
+		}
+	}
+}
+
+func TestBurstinessOnlyOnLowApps(t *testing.T) {
+	// Carrefour-misleading bursts model the "low"-class degradation;
+	// high-imbalance apps must not have them.
+	for _, p := range All() {
+		if p.Burstiness > 0 && p.PaperFTImb > 130 {
+			t.Errorf("%s is high-class but bursty", p.Name)
+		}
+	}
+}
+
+func TestCPUNsPerUnit(t *testing.T) {
+	p, _ := Get("swaptions") // nearly CPU-bound
+	if p.CPUNsPerUnit() < 1000 {
+		t.Fatalf("swaptions cpu/unit = %v, want compute-dominated", p.CPUNsPerUnit())
+	}
+	q, _ := Get("cg.C") // nearly memory-bound
+	if q.CPUNsPerUnit() > 5 {
+		t.Fatalf("cg.C cpu/unit = %v, want memory-dominated", q.CPUNsPerUnit())
+	}
+}
+
+func TestWorkingSetDefaults(t *testing.T) {
+	p, _ := Get("bodytrack")
+	if p.WorkingSet != 1 {
+		t.Fatalf("default working set = %v", p.WorkingSet)
+	}
+	q, _ := Get("kmeans")
+	if q.WorkingSet >= 1 || q.WorkingSet <= 0 {
+		t.Fatalf("kmeans working set = %v", q.WorkingSet)
+	}
+}
+
+func TestNamesMatchAll(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(names) != len(all) {
+		t.Fatal("Names/All length mismatch")
+	}
+	for i := range names {
+		if names[i] != all[i].Name {
+			t.Fatalf("order mismatch at %d: %s vs %s", i, names[i], all[i].Name)
+		}
+	}
+}
+
+func TestPaperBestPoliciesWellFormed(t *testing.T) {
+	valid := map[string]bool{"FT": true, "FT/C": true, "R4K": true, "R4K/C": true, "R1G": true}
+	for _, p := range All() {
+		if !valid[p.PaperBestLinux] {
+			t.Errorf("%s: bad PaperBestLinux %q", p.Name, p.PaperBestLinux)
+		}
+		if !valid[p.PaperBestXen] {
+			t.Errorf("%s: bad PaperBestXen %q", p.Name, p.PaperBestXen)
+		}
+		if p.PaperBestLinux == "R1G" {
+			t.Errorf("%s: Linux has no round-1G", p.Name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package xen
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Balloon is the classical memory-ballooning driver, implemented here to
+// demonstrate why the paper could NOT use it to learn about guest page
+// releases (§4.2.3): a page inflated into the balloon is surrendered to
+// the hypervisor — its frame is freed for other domains and the guest
+// may no longer use the physical page at all. The first-touch policy
+// instead needs the guest to keep free pages reallocatable at any time,
+// which is exactly what the page-queue hypercall provides.
+type Balloon struct {
+	dom *Domain
+	// inflated tracks pages currently surrendered.
+	inflated map[mem.PFN]bool
+}
+
+// NewBalloon attaches a balloon driver to dom.
+func NewBalloon(dom *Domain) *Balloon {
+	return &Balloon{dom: dom, inflated: make(map[mem.PFN]bool)}
+}
+
+// Inflate surrenders a guest physical page: its hypervisor page-table
+// entry is invalidated and the machine frame returned to the machine
+// allocator for other domains.
+func (b *Balloon) Inflate(pfn mem.PFN) error {
+	if b.inflated[pfn] {
+		return fmt.Errorf("xen: page %d already in the balloon", pfn)
+	}
+	if _, ok := b.dom.NodeOfPFN(pfn); !ok {
+		return fmt.Errorf("xen: page %d not populated", pfn)
+	}
+	b.dom.InvalidatePage(pfn)
+	b.inflated[pfn] = true
+	return nil
+}
+
+// Deflate reclaims a ballooned page: the hypervisor populates it with a
+// fresh frame (from the domain's home nodes) and the guest may use it
+// again. This is the only way back — and it requires a hypercall and a
+// frame allocation, which is why a guest cannot treat ballooned pages as
+// an ordinary free list.
+func (b *Balloon) Deflate(pfn mem.PFN) error {
+	if !b.inflated[pfn] {
+		return fmt.Errorf("xen: page %d not in the balloon", pfn)
+	}
+	mfn, err := b.dom.AllocFrameOn(b.dom.homes[0])
+	if err != nil {
+		return fmt.Errorf("xen: deflating page %d: %w", pfn, err)
+	}
+	b.dom.MapPage(pfn, mfn)
+	delete(b.inflated, pfn)
+	return nil
+}
+
+// Held reports whether pfn is currently surrendered. A guest allocator
+// consulting only its own free list would hand such a page to a process
+// and fault forever — the structural inadequacy the paper points out.
+func (b *Balloon) Held(pfn mem.PFN) bool { return b.inflated[pfn] }
+
+// Size reports the number of ballooned pages.
+func (b *Balloon) Size() int { return len(b.inflated) }

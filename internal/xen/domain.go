@@ -1,0 +1,437 @@
+package xen
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/numa"
+	"repro/internal/policy"
+	"repro/internal/pt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// VCPU is one virtual CPU pinned to a physical CPU. The evaluation pins
+// every vCPU (§5.4.1), so the model has no vCPU migration; consolidated
+// setups simply pin several vCPUs to one physical CPU.
+type VCPU struct {
+	ID   int
+	PCPU numa.CPUID
+}
+
+// Domain is one virtual machine.
+type Domain struct {
+	ID    DomID
+	Name  string
+	VCPUs []VCPU
+
+	hv        *Hypervisor
+	table     *pt.HypervisorTable
+	homes     []numa.NodeID
+	physPages uint64
+
+	bootKind policy.Kind
+	cfg      policy.Config
+	pol      policy.Policy
+	// CarrefourHook, when non-nil, receives page-queue batches so the
+	// dynamic policy can track page liveness. Set by package carrefour.
+	CarrefourHook func(ops []policy.PageOp)
+
+	// grants is the domain's grant table (nil until NewGrantTable);
+	// pinned counts outstanding grant mappings per page — pinned pages
+	// cannot be migrated or invalidated while a DMA may target them.
+	grants *GrantTable
+	pinned map[mem.PFN]int
+
+	// frames tracks every machine allocation backing this domain so the
+	// memory can be returned on destroy. Blocks allocated at order > 0
+	// (round-1G regions) are recorded once.
+	frames []frameAlloc
+	// frameOf mirrors the hypervisor table for 4 KiB-grained ownership:
+	// pages individually invalidated/remapped by first-touch or
+	// migration are tracked here so releaseFrames does not double-free.
+	ownedPages map[mem.PFN]mem.MFN
+
+	// Observers used by the workload engine to keep per-region node
+	// histograms in sync with the hypervisor page table.
+	OnPlace      func(pfn mem.PFN, node numa.NodeID)
+	OnInvalidate func(pfn mem.PFN)
+
+	// Per-domain counters.
+	Faults        uint64
+	FaultTime     sim.Time
+	Hypercalls    uint64
+	HypercallTime sim.Time
+	Migrated      uint64
+	Invalidated   uint64
+
+	// nextAllocNode implements the round-robin fallback of first-touch
+	// when the preferred node is full.
+	nextAllocNode int
+
+	// passthrough reports whether the PCI passthrough driver is active
+	// for this domain's I/O (requires the machine IOMMU and a policy
+	// other than first-touch, §4.4.1).
+	passthrough bool
+
+	// accessor is the node of the vCPU performing the current access;
+	// it parameterizes the fault handler during Translate.
+	accessor numa.NodeID
+}
+
+type frameAlloc struct {
+	mfn   mem.MFN
+	order int
+}
+
+func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID) *Domain {
+	d := &Domain{
+		ID:         id,
+		Name:       spec.Name,
+		hv:         h,
+		table:      pt.NewHypervisorTable(),
+		physPages:  uint64(spec.MemBytes) / mem.PageSize,
+		bootKind:   spec.Boot,
+		cfg:        policy.Config{Static: spec.Boot},
+		ownedPages: make(map[mem.PFN]mem.MFN),
+		pinned:     make(map[mem.PFN]int),
+	}
+	for i, c := range pins {
+		d.VCPUs = append(d.VCPUs, VCPU{ID: i, PCPU: c})
+	}
+	seen := make(map[numa.NodeID]bool)
+	for _, c := range pins {
+		n := h.Topo.NodeOf(c)
+		if !seen[n] {
+			seen[n] = true
+			d.homes = append(d.homes, n)
+		}
+	}
+	d.pol = policy.New(spec.Boot)
+	d.passthrough = h.Cfg.IOMMU
+	d.table.SetFaultHandler(func(pfn mem.PFN, write bool, kind pt.FaultKind) {
+		d.pol.HandleFault(d, pfn, d.accessor, kind)
+	})
+	return d
+}
+
+// populate eagerly builds the physical address space per the boot layout.
+func (d *Domain) populate() error {
+	switch d.bootKind {
+	case policy.Round4K:
+		return d.populateRound4K()
+	case policy.Round1G:
+		return d.populateRound1G()
+	default:
+		return fmt.Errorf("invalid boot layout %v", d.bootKind)
+	}
+}
+
+// populateRound4K maps every physical page round-robin on the home
+// nodes. MapPage records per-page ownership, so first-touch can later
+// invalidate and free any of these frames individually.
+func (d *Domain) populateRound4K() error {
+	for p := uint64(0); p < d.physPages; p++ {
+		node := d.homes[int(p)%len(d.homes)]
+		mfn, err := d.AllocFrameOn(node)
+		if err != nil {
+			return err
+		}
+		d.MapPage(mem.PFN(p), mfn)
+	}
+	return nil
+}
+
+// populateRound1G implements §3.3: allocate by huge regions round-robin
+// from the home nodes; the first and last "GiB" of the physical space are
+// fragmented (BIOS and I/O holes) and are therefore allocated in mid and
+// 4 KiB regions instead.
+func (d *Domain) populateRound1G() error {
+	hugeFrames := mem.FramesOf(d.hv.Cfg.HugeOrder)
+	midFrames := mem.FramesOf(d.hv.Cfg.MidOrder)
+	rr := 0
+	nextHome := func() numa.NodeID {
+		n := d.homes[rr%len(d.homes)]
+		rr++
+		return n
+	}
+	// allocRegion allocates 2^order frames on the next home node (with
+	// fallback to the following homes) and maps them phys-contiguously
+	// starting at base.
+	allocRegion := func(base uint64, order int) error {
+		var mfn mem.MFN
+		var err error
+		for try := 0; try < len(d.homes); try++ {
+			node := nextHome()
+			mfn, err = d.hv.Alloc.Alloc(node, order)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return err
+		}
+		d.frames = append(d.frames, frameAlloc{mfn: mfn, order: order})
+		for i := uint64(0); i < mem.FramesOf(order); i++ {
+			d.table.Map(mem.PFN(base+i), mfn+mem.MFN(i))
+		}
+		return nil
+	}
+	p := uint64(0)
+	for p < d.physPages {
+		remaining := d.physPages - p
+		inFirstGiB := p < hugeFrames
+		inLastGiB := d.physPages > hugeFrames && p >= d.physPages-hugeFrames
+		switch {
+		case !inFirstGiB && !inLastGiB && remaining >= hugeFrames:
+			if err := allocRegion(p, d.hv.Cfg.HugeOrder); err != nil {
+				return err
+			}
+			p += hugeFrames
+		case remaining >= midFrames:
+			if err := allocRegion(p, d.hv.Cfg.MidOrder); err != nil {
+				return err
+			}
+			p += midFrames
+		default:
+			if err := allocRegion(p, mem.Order4K); err != nil {
+				return err
+			}
+			p++
+		}
+	}
+	return nil
+}
+
+// releaseFrames returns all machine memory to the allocator.
+func (d *Domain) releaseFrames() {
+	for _, f := range d.frames {
+		d.hv.Alloc.Free(f.mfn, f.order)
+	}
+	d.frames = nil
+	for pfn, mfn := range d.ownedPages {
+		d.hv.Alloc.Free(mfn, mem.Order4K)
+		delete(d.ownedPages, pfn)
+	}
+}
+
+// --- policy.DomainOps (the internal interface, §4.1) ---
+
+// HomeNodes returns the domain's home nodes.
+func (d *Domain) HomeNodes() []numa.NodeID { return d.homes }
+
+// Table returns the domain's hypervisor page table.
+func (d *Domain) Table() *pt.HypervisorTable { return d.table }
+
+// AllocFrameOn allocates a 4 KiB machine frame on node, falling back
+// round-robin to the home nodes then to every node, mirroring Linux's
+// behaviour when the preferred bank is full (§3.1).
+func (d *Domain) AllocFrameOn(node numa.NodeID) (mem.MFN, error) {
+	if mfn, err := d.hv.Alloc.Alloc(node, mem.Order4K); err == nil {
+		return mfn, nil
+	}
+	for range d.homes {
+		n := d.homes[d.nextAllocNode%len(d.homes)]
+		d.nextAllocNode++
+		if n == node {
+			continue
+		}
+		if mfn, err := d.hv.Alloc.Alloc(n, mem.Order4K); err == nil {
+			return mfn, nil
+		}
+	}
+	for i := 0; i < d.hv.Topo.NumNodes(); i++ {
+		n := numa.NodeID(i)
+		if mfn, err := d.hv.Alloc.Alloc(n, mem.Order4K); err == nil {
+			return mfn, nil
+		}
+	}
+	return mem.NoMFN, fmt.Errorf("xen: machine out of memory: %w", mem.ErrNoMemory)
+}
+
+// FreeFrame returns one 4 KiB frame.
+func (d *Domain) FreeFrame(mfn mem.MFN) { d.hv.Alloc.Free(mfn, mem.Order4K) }
+
+// NodeOfFrame maps a frame to its node.
+func (d *Domain) NodeOfFrame(mfn mem.MFN) numa.NodeID { return d.hv.Alloc.NodeOf(mfn) }
+
+// MapPage installs pfn→mfn, records ownership at page granularity and
+// notifies the placement observer.
+func (d *Domain) MapPage(pfn mem.PFN, mfn mem.MFN) {
+	d.table.Map(pfn, mfn)
+	d.ownedPages[pfn] = mfn
+	if d.OnPlace != nil {
+		d.OnPlace(pfn, d.hv.Alloc.NodeOf(mfn))
+	}
+}
+
+// InvalidatePage clears pfn's entry and frees its frame; the next access
+// faults into the policy. Part of the first-touch implementation.
+func (d *Domain) InvalidatePage(pfn mem.PFN) {
+	if d.pinned[pfn] > 0 {
+		// A DMA may target this page through an outstanding grant
+		// mapping; invalidating it would abort the transfer through the
+		// IOMMU (§4.4.1). Leave it mapped.
+		return
+	}
+	old := d.table.Invalidate(pfn)
+	if old == mem.NoMFN {
+		return
+	}
+	d.Invalidated++
+	d.hv.EntriesFlushed++
+	if _, owned := d.ownedPages[pfn]; owned {
+		delete(d.ownedPages, pfn)
+		d.hv.Alloc.Free(old, mem.Order4K)
+	}
+	// Frames inside eager blocks (round-1G/round-4K boot regions) stay
+	// owned by the block record; they are reused only after the block is
+	// torn down. This wastes the frame but never double-frees — and is
+	// exactly why the paper boots first-touch domains with round-4K.
+	if d.OnInvalidate != nil {
+		d.OnInvalidate(pfn)
+	}
+}
+
+// MigratePage implements the second function of the internal interface:
+// write-protect the entry, copy the page, remap it on the target node and
+// free the old frame (§4.1). It reports whether the page moved.
+func (d *Domain) MigratePage(pfn mem.PFN, to numa.NodeID) bool {
+	if d.pinned[pfn] > 0 {
+		return false // granted I/O buffer: the frame must not move
+	}
+	e := d.table.Lookup(pfn)
+	if !e.Valid {
+		return false
+	}
+	if d.hv.Alloc.NodeOf(e.MFN) == to {
+		return false
+	}
+	newMFN, err := d.hv.Alloc.Alloc(to, mem.Order4K)
+	if err != nil {
+		return false // target node full: leave the page where it is
+	}
+	d.table.WriteProtect(pfn)
+	// Copy happens here; the time cost is charged by the caller through
+	// CostMigratePage, the traffic through the load accumulator.
+	d.table.Map(pfn, newMFN)
+	if old, owned := d.ownedPages[pfn]; owned {
+		d.hv.Alloc.Free(old, mem.Order4K)
+	}
+	d.ownedPages[pfn] = newMFN
+	d.Migrated++
+	d.hv.PagesMigrated++
+	d.hv.MigrationTime += CostMigratePage
+	d.hv.Trace.Record(trace.Event{
+		Time: d.hv.Eng.Now(), Kind: trace.KindMigrate, Dom: int(d.ID),
+		Arg0: uint64(pfn), Arg1: uint64(to),
+	})
+	if d.OnPlace != nil {
+		d.OnPlace(pfn, to)
+	}
+	return true
+}
+
+// --- guest-facing operations ---
+
+// Policy returns the active policy configuration.
+func (d *Domain) Policy() policy.Config { return d.cfg }
+
+// Passthrough reports whether the PCI passthrough driver is active.
+func (d *Domain) Passthrough() bool { return d.passthrough }
+
+// PhysPages returns the size of the physical address space in pages.
+func (d *Domain) PhysPages() uint64 { return d.physPages }
+
+// NodeOfPCPU returns the node of vCPU v's physical CPU.
+func (d *Domain) NodeOfPCPU(v int) numa.NodeID {
+	return d.hv.Topo.NodeOf(d.VCPUs[v].PCPU)
+}
+
+// HypercallSetPolicy is the first hypercall of the external interface
+// (§4.2.1): switch the static policy and/or toggle Carrefour. Switching
+// to round-1G at run time is rejected, as in the paper. The returned
+// duration is the cost charged to the calling vCPU.
+func (d *Domain) HypercallSetPolicy(cfg policy.Config) (sim.Time, error) {
+	cost := CostHypercall
+	d.Hypercalls++
+	d.hv.Hypercalls++
+	if cfg.Static == policy.Round1G && d.bootKind != policy.Round1G {
+		return cost, fmt.Errorf("xen: round-1G is a boot option, not a runtime policy (§4.2.1)")
+	}
+	if cfg.Static == policy.FirstTouch && d.hv.Cfg.IOMMU && d.passthrough {
+		// §4.4.1: the IOMMU cannot resolve invalid entries, so the
+		// passthrough driver must be disabled with first-touch.
+		d.passthrough = false
+		d.hv.PassthroughOffs++
+	}
+	if cfg.Static != d.cfg.Static {
+		d.pol = policy.New(cfg.Static)
+	}
+	d.cfg = cfg
+	d.HypercallTime += cost
+	d.hv.HypercallTime += cost
+	d.hv.Trace.Record(trace.Event{
+		Time: d.hv.Eng.Now(), Kind: trace.KindPolicySwitch, Dom: int(d.ID),
+		Arg0: uint64(cfg.Static),
+	})
+	return cost, nil
+}
+
+// HypercallPageQueue is the second hypercall of the external interface
+// (§4.2.3): deliver one batched queue of page allocations and releases.
+// The returned duration is the hypercall's cost, dominated by entry
+// invalidation (§4.2.4).
+func (d *Domain) HypercallPageQueue(ops []policy.PageOp) sim.Time {
+	d.Hypercalls++
+	d.hv.Hypercalls++
+	invalidated := d.pol.OnPageQueue(d, ops)
+	if d.CarrefourHook != nil {
+		d.CarrefourHook(ops)
+	}
+	cost := CostHypercall + CostQueueSend + sim.Time(invalidated)*CostInvalidateEntry
+	d.HypercallTime += cost
+	d.hv.HypercallTime += cost
+	d.hv.Trace.Record(trace.Event{
+		Time: d.hv.Eng.Now(), Kind: trace.KindHypercall, Dom: int(d.ID),
+		Arg0: uint64(len(ops)), Arg1: uint64(invalidated),
+	})
+	return cost
+}
+
+// Touch simulates one guest access to a physical page by a vCPU whose
+// physical CPU sits on accessor. It resolves hypervisor faults through
+// the active policy and returns the backing frame's node plus the time
+// spent in the hypervisor (zero on the fast path).
+func (d *Domain) Touch(pfn mem.PFN, accessor numa.NodeID, write bool) (numa.NodeID, sim.Time) {
+	if pfn >= mem.PFN(d.physPages) {
+		panic(fmt.Sprintf("xen: domain %q touching PFN %d beyond %d pages", d.Name, pfn, d.physPages))
+	}
+	before := d.table.Faults + d.table.WriteProtFaults
+	d.accessor = accessor
+	mfn := d.table.Translate(pfn, write)
+	faults := d.table.Faults + d.table.WriteProtFaults - before
+	var cost sim.Time
+	if faults > 0 {
+		cost = sim.Time(faults) * (CostHVFault + CostFrameAlloc)
+		d.Faults += faults
+		d.hv.PageFaults += faults
+		d.FaultTime += cost
+		d.hv.FaultTime += cost
+		d.hv.Trace.Record(trace.Event{
+			Time: d.hv.Eng.Now(), Kind: trace.KindFault, Dom: int(d.ID),
+			Arg0: uint64(pfn), Arg1: uint64(accessor),
+		})
+	}
+	return d.hv.Alloc.NodeOf(mfn), cost
+}
+
+// NodeOfPFN returns the node currently backing pfn without faulting;
+// ok is false when the entry is invalid.
+func (d *Domain) NodeOfPFN(pfn mem.PFN) (numa.NodeID, bool) {
+	mfn, ok := d.table.TranslateNoFault(pfn)
+	if !ok {
+		return 0, false
+	}
+	return d.hv.Alloc.NodeOf(mfn), true
+}

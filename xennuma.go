@@ -1,0 +1,328 @@
+// Package xennuma is the public facade of the reproduction of "An
+// interface to implement NUMA policies in the Xen hypervisor" (Voron,
+// Thomas, Quéma, Sens — EuroSys 2017).
+//
+// It wires the simulated AMD48 machine, the Xen-like hypervisor with the
+// paper's two-hypercall NUMA-policy interface, the para-virtualized
+// guest, the native-Linux baseline and the workload engine into a few
+// high-level entry points:
+//
+//	res, err := xennuma.RunXen("cg.C", xennuma.MustPolicy("first-touch"), xennuma.Options{XenPlus: true})
+//	base, _ := xennuma.RunXen("cg.C", xennuma.MustPolicy("round-1g"), xennuma.Options{XenPlus: true})
+//	fmt.Printf("speedup: %.2fx\n", float64(base.Completion)/float64(res.Completion))
+//
+// Every run is deterministic for a given Options.Seed.
+package xennuma
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/guest"
+	"repro/internal/linux"
+	"repro/internal/numa"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xen"
+)
+
+// Policy re-exports the policy configuration (static policy plus
+// optional Carrefour).
+type Policy = policy.Config
+
+// Result re-exports the engine's per-run outcome.
+type Result = engine.Result
+
+// ParsePolicy parses "round-1g", "round-4k", "first-touch", optionally
+// suffixed with "/carrefour" (e.g. "round-4k/carrefour").
+func ParsePolicy(s string) (Policy, error) {
+	var cfg Policy
+	name := strings.ToLower(strings.TrimSpace(s))
+	if rest, ok := strings.CutSuffix(name, "/carrefour"); ok {
+		cfg.Carrefour = true
+		name = rest
+	}
+	switch name {
+	case "round-1g", "round1g", "r1g":
+		cfg.Static = policy.Round1G
+	case "round-4k", "round4k", "r4k":
+		cfg.Static = policy.Round4K
+	case "first-touch", "firsttouch", "ft":
+		cfg.Static = policy.FirstTouch
+	default:
+		return cfg, fmt.Errorf("xennuma: unknown policy %q", s)
+	}
+	return cfg, nil
+}
+
+// MustPolicy is ParsePolicy that panics on error, for literals.
+func MustPolicy(s string) Policy {
+	cfg, err := ParsePolicy(s)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// Options tunes a run. The zero value gives the paper's single-VM
+// setting on a 1/64-scale AMD48 under stock Xen (no passthrough, no MCS
+// locks).
+type Options struct {
+	// Scale divides node memory banks and application footprints
+	// (power of two; default 64). Scale 1 is the full-size machine.
+	Scale int
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// Threads overrides the thread/vCPU count (default: all 48 CPUs).
+	Threads int
+	// XenPlus enables the paper's improved baseline: IOMMU + PCI
+	// passthrough for I/O and MCS spin locks for the pthread-blocking
+	// applications (§5.3). Ignored by native runs.
+	XenPlus bool
+	// MCS forces the MCS-lock mitigation for pthread applications in
+	// native runs (the paper's LinuxNUMA baseline uses it).
+	MCS bool
+	// Queue overrides the page-queue driver configuration (§4.2.4).
+	Queue guest.QueueConfig
+	// MaxTime bounds a run in virtual time (default 300 s).
+	MaxTime sim.Time
+	// TLB enables the address-translation cost model of the paper's §7
+	// large-page extension; LargePages then maps the workload with
+	// 2 MiB pages. Both default off (the paper's baseline).
+	TLB        bool
+	LargePages bool
+	// Replication enables Carrefour's replication heuristic, which the
+	// paper deliberately leaves out (§3.4); off by default.
+	Replication bool
+}
+
+func (o Options) normalized() Options {
+	if o.Scale == 0 {
+		o.Scale = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Threads == 0 {
+		o.Threads = 48
+	}
+	if o.Queue.Queues == 0 {
+		o.Queue = guest.DefaultQueueConfig()
+	}
+	if o.MaxTime == 0 {
+		o.MaxTime = 300 * sim.Second
+	}
+	return o
+}
+
+// RunXen runs one application alone in one virtual machine spanning the
+// whole machine (the paper's single-VM setting, §5.4.1) under the given
+// NUMA policy, and returns its completion time and placement statistics.
+func RunXen(app string, pol Policy, o Options) (Result, error) {
+	o = o.normalized()
+	prof, err := workload.Get(app)
+	if err != nil {
+		return Result{}, err
+	}
+	topo := numa.AMD48Scaled(o.Scale)
+	hv, err := newHypervisor(topo, o)
+	if err != nil {
+		return Result{}, err
+	}
+	inst, err := buildXenInstance(hv, topo, prof, pol, o, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := engineConfig(topo, o)
+	res, err := engine.Run(cfg, inst)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// engineConfig builds the run configuration from the options.
+func engineConfig(topo *numa.Topology, o Options) engine.Config {
+	cfg := engine.DefaultConfig(topo, o.Scale)
+	cfg.Seed = o.Seed
+	cfg.MaxTime = o.MaxTime
+	cfg.Carrefour.EnableReplication = o.Replication
+	if o.TLB {
+		tlb := numa.DefaultTLB()
+		cfg.TLB = &tlb
+	}
+	return cfg
+}
+
+// RunLinux runs one application natively under a Linux NUMA policy
+// (first-touch or round-4K, optionally with Carrefour).
+func RunLinux(app string, pol Policy, o Options) (Result, error) {
+	o = o.normalized()
+	prof, err := workload.Get(app)
+	if err != nil {
+		return Result{}, err
+	}
+	topo := numa.AMD48Scaled(o.Scale)
+	b, err := linux.New(topo, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	inst := &engine.Instance{
+		Prof:       prof,
+		Backend:    b,
+		NThreads:   o.Threads,
+		Carrefour:  pol.Carrefour,
+		MCS:        o.MCS && prof.UsesPthreadSync,
+		LargePages: o.LargePages,
+	}
+	cfg := engineConfig(topo, o)
+	res, err := engine.Run(cfg, inst)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// PairMode selects how two virtual machines share the machine.
+type PairMode int
+
+const (
+	// Colocated gives each VM half the nodes and 24 vCPUs (Figure 8).
+	Colocated PairMode = iota
+	// Consolidated gives each VM all 48 vCPUs; every physical CPU runs
+	// two vCPUs (Figure 9).
+	Consolidated
+)
+
+// RunXenPair runs two applications in two virtual machines (the
+// consolidated-workload settings of §5.4.2) and returns one result per
+// VM. For the colocated mode the paper averages two runs with the node
+// halves swapped; pass swap=true for the second run.
+func RunXenPair(app1 string, pol1 Policy, app2 string, pol2 Policy, mode PairMode, swap bool, o Options) (Result, Result, error) {
+	o = o.normalized()
+	prof1, err := workload.Get(app1)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	prof2, err := workload.Get(app2)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	topo := numa.AMD48Scaled(o.Scale)
+	hv, err := newHypervisor(topo, o)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	var pins1, pins2 []numa.CPUID
+	threads := o.Threads
+	switch mode {
+	case Colocated:
+		threads = 24
+		half := topo.NumNodes() / 2
+		for n, node := range topo.Nodes {
+			for _, c := range node.CPUs {
+				if n < half {
+					pins1 = append(pins1, c)
+				} else {
+					pins2 = append(pins2, c)
+				}
+			}
+		}
+		if swap {
+			pins1, pins2 = pins2, pins1
+		}
+	case Consolidated:
+		for c := 0; c < topo.NumCPUs(); c++ {
+			pins1 = append(pins1, numa.CPUID(c))
+			pins2 = append(pins2, numa.CPUID(c))
+		}
+	default:
+		return Result{}, Result{}, fmt.Errorf("xennuma: unknown pair mode %d", mode)
+	}
+	o1, o2 := o, o
+	o1.Threads, o2.Threads = threads, threads
+	inst1, err := buildXenInstance(hv, topo, prof1, pol1, o1, pins1)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	inst2, err := buildXenInstance(hv, topo, prof2, pol2, o2, pins2)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	cfg := engineConfig(topo, o)
+	res, err := engine.Run(cfg, inst1, inst2)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return res[0], res[1], nil
+}
+
+func newHypervisor(topo *numa.Topology, o Options) (*xen.Hypervisor, error) {
+	cfg := xen.ScaledConfig(o.Scale)
+	cfg.IOMMU = o.XenPlus
+	dom0Mem := int64(2<<30) / int64(o.Scale)
+	if dom0Mem < 8<<20 {
+		dom0Mem = 8 << 20
+	}
+	return xen.New(topo, sim.NewEngine(), cfg, dom0Mem)
+}
+
+// vmMemBytes sizes a VM: the scaled footprint plus headroom, clamped to
+// what the machine can still give out.
+func vmMemBytes(topo *numa.Topology, prof workload.Profile, o Options, vms int) int64 {
+	foot := int64(prof.FootprintMB * (1 << 20) / float64(o.Scale))
+	// Footprint with headroom, plus the guest kernel's low region (one
+	// round-1G unit) and a matching tail.
+	hugeBytes := int64(2<<30) / int64(o.Scale)
+	memBytes := foot + foot/3 + hugeBytes
+	limit := (topo.TotalMemory() - int64(2<<30)/int64(o.Scale)) / int64(vms)
+	limit = limit * 9 / 10
+	if memBytes > limit {
+		memBytes = limit
+	}
+	return memBytes
+}
+
+func buildXenInstance(hv *xen.Hypervisor, topo *numa.Topology, prof workload.Profile, pol Policy, o Options, pins []numa.CPUID) (*engine.Instance, error) {
+	boot := policy.Round4K
+	if pol.Static == policy.Round1G {
+		boot = policy.Round1G
+	}
+	vms := 1
+	if len(pins) > 0 && len(pins) < topo.NumCPUs() {
+		vms = 2
+	}
+	if len(pins) == 0 {
+		for c := 0; c < o.Threads && c < topo.NumCPUs(); c++ {
+			pins = append(pins, numa.CPUID(c))
+		}
+	}
+	spec := xen.DomainSpec{
+		Name:     prof.Name,
+		VCPUs:    len(pins),
+		MemBytes: vmMemBytes(topo, prof, o, vms),
+		PinCPUs:  pins,
+		Boot:     boot,
+	}
+	dom, err := hv.CreateDomain(spec)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := guest.NewBackend(hv, dom, o.Queue, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Instance{
+		Prof:       prof,
+		Backend:    b,
+		NThreads:   o.Threads,
+		Carrefour:  pol.Carrefour,
+		MCS:        o.XenPlus && prof.UsesPthreadSync,
+		LargePages: o.LargePages,
+	}, nil
+}
+
+// Apps returns the 29 application names of the paper's evaluation.
+func Apps() []string { return workload.Names() }
