@@ -11,14 +11,19 @@
 //
 // Flags:
 //
-//	-scale N   machine/footprint scale divisor (default 64)
-//	-seed N    simulation seed (default 1)
+//	-scale N     machine/footprint scale divisor (default 64)
+//	-seed N      simulation seed (default 1)
+//	-parallel N  worker count for the experiment scheduler (default: all CPUs)
+//	-progress    report per-experiment timing on stderr
+//	-md          render tables as Markdown
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	xennuma "repro"
 	"repro/internal/exp"
@@ -26,96 +31,146 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 64, "machine and footprint scale divisor (power of two)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	markdown := flag.Bool("md", false, "render tables as Markdown instead of ASCII")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point: it parses argv, executes one
+// command and returns the process exit code (0 ok, 1 runtime error,
+// 2 usage error).
+func run(argv []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("xnuma", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 64, "machine and footprint scale divisor (power of two)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	markdown := fs.Bool("md", false, "render tables as Markdown instead of ASCII")
+	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+	progress := fs.Bool("progress", false, "report per-experiment timing and run counts on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
+usage:
+  xnuma [flags] list | all | topo | <experiment-id>... | run <app> <policy>`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	// A failing simulation cell surfaces as a panic from the suite;
+	// report it as a clean error instead of a stack trace.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "xnuma: %v\n", p)
+			code = 1
+		}
+	}()
+
+	s := exp.NewSuiteParallel(*scale, *parallel)
+	s.Opt.Seed = *seed
 	render := func(t *exp.Table) string {
 		if *markdown {
 			return t.RenderMarkdown()
 		}
 		return t.Render()
 	}
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+	report := func(id string, fn func(*exp.Suite) *exp.Table) {
+		start := time.Now()
+		before := s.CellsComputed()
+		tbl := fn(s)
+		if *progress {
+			fmt.Fprintf(stderr, "xnuma: %s: %d new runs in %v (%d workers)\n",
+				id, s.CellsComputed()-before, time.Since(start).Round(time.Millisecond), s.Workers())
+		}
+		fmt.Fprintln(stdout, render(tbl))
 	}
-	s := exp.NewSuite(*scale)
-	s.Opt.Seed = *seed
+
 	switch args[0] {
 	case "list":
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, id := range exp.IDs() {
-			fmt.Println("  " + id)
+			fmt.Fprintln(stdout, "  "+id)
 		}
-		fmt.Println("applications:")
+		fmt.Fprintln(stdout, "applications:")
 		for _, a := range xennuma.Apps() {
-			fmt.Println("  " + a)
+			fmt.Fprintln(stdout, "  "+a)
 		}
 	case "all":
-		for _, t := range exp.AllExperiments(s) {
-			fmt.Println(render(t))
+		for _, id := range exp.IDs() {
+			report(id, exp.ByID(id))
 		}
 	case "topo":
-		dumpTopology(*scale)
+		dumpTopology(stdout, *scale)
 	case "run":
 		if len(args) != 3 {
-			fmt.Fprintln(os.Stderr, "usage: xnuma run <app> <policy>")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "usage: xnuma run <app> <policy>")
+			return 2
 		}
-		runOne(s, args[1], args[2])
+		if err := runOne(s, stdout, args[1], args[2]); err != nil {
+			fmt.Fprintln(stderr, "xnuma:", err)
+			return 2
+		}
 	default:
 		for _, id := range args {
 			fn := exp.ByID(id)
 			if fn == nil {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: xnuma list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q (try: xnuma list)\n", id)
+				return 2
 			}
-			fmt.Println(render(fn(s)))
+			report(id, fn)
 		}
 	}
+	return 0
 }
 
-func runOne(s *exp.Suite, app, pol string) {
+func runOne(s *exp.Suite, stdout io.Writer, app, pol string) error {
 	if _, err := xennuma.ParsePolicy(pol); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
+	}
+	known := false
+	for _, a := range xennuma.Apps() {
+		if a == app {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown application %q (try: xnuma list)", app)
 	}
 	r := s.Xen(app, pol, true)
-	fmt.Printf("app:          %s\n", r.App)
-	fmt.Printf("backend:      %s\n", r.Backend)
-	fmt.Printf("completion:   %v\n", r.Completion)
-	fmt.Printf("init phase:   %v\n", r.InitTime)
-	fmt.Printf("imbalance:    %.0f%%\n", r.Imbalance)
-	fmt.Printf("interconnect: %.0f%%\n", r.InterconnectLoad)
-	fmt.Printf("locality:     %.2f\n", r.Locality)
-	fmt.Printf("migrated:     %d pages\n", r.Migrated)
+	fmt.Fprintf(stdout, "app:          %s\n", r.App)
+	fmt.Fprintf(stdout, "backend:      %s\n", r.Backend)
+	fmt.Fprintf(stdout, "completion:   %v\n", r.Completion)
+	fmt.Fprintf(stdout, "init phase:   %v\n", r.InitTime)
+	fmt.Fprintf(stdout, "imbalance:    %.0f%%\n", r.Imbalance)
+	fmt.Fprintf(stdout, "interconnect: %.0f%%\n", r.InterconnectLoad)
+	fmt.Fprintf(stdout, "locality:     %.2f\n", r.Locality)
+	fmt.Fprintf(stdout, "migrated:     %d pages\n", r.Migrated)
+	return nil
 }
 
-func dumpTopology(scale int) {
+func dumpTopology(stdout io.Writer, scale int) {
 	t := numa.AMD48Scaled(scale)
-	fmt.Printf("AMD48 (scale 1/%d): %d nodes, %d CPUs, %d MiB total\n",
+	fmt.Fprintf(stdout, "AMD48 (scale 1/%d): %d nodes, %d CPUs, %d MiB total\n",
 		scale, t.NumNodes(), t.NumCPUs(), t.TotalMemory()>>20)
 	for _, n := range t.Nodes {
-		fmt.Printf("  node %d: cpus %v, %d MiB, pci=%v\n", n.ID, n.CPUs, n.MemBytes>>20, n.PCIBus)
+		fmt.Fprintf(stdout, "  node %d: cpus %v, %d MiB, pci=%v\n", n.ID, n.CPUs, n.MemBytes>>20, n.PCIBus)
 	}
-	fmt.Println("  hop distance matrix:")
+	fmt.Fprintln(stdout, "  hop distance matrix:")
 	for i := 0; i < t.NumNodes(); i++ {
-		fmt.Print("   ")
+		fmt.Fprint(stdout, "   ")
 		for j := 0; j < t.NumNodes(); j++ {
-			fmt.Printf(" %d", t.Distance(numa.NodeID(i), numa.NodeID(j)))
+			fmt.Fprintf(stdout, " %d", t.Distance(numa.NodeID(i), numa.NodeID(j)))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	lm := t.Latency
-	fmt.Printf("  latency (cycles): local %d, 1-hop %d, 2-hop %d\n",
+	fmt.Fprintf(stdout, "  latency (cycles): local %d, 1-hop %d, 2-hop %d\n",
 		lm.BaseCycles(0), lm.BaseCycles(1), lm.BaseCycles(2))
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
-usage:
-  xnuma [flags] list | all | topo | <experiment-id>... | run <app> <policy>`)
-	flag.PrintDefaults()
 }

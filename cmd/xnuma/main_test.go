@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig8", "hcall", "cg.C", "streamcluster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, errb := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "usage") {
+		t.Errorf("usage not printed: %q", errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "-nosuchflag", "list"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errb := runCLI(t, "fig99")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "unknown experiment") {
+		t.Errorf("stderr: %q", errb)
+	}
+}
+
+func TestCheapExperiment(t *testing.T) {
+	code, out, _ := runCLI(t, "table3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "== table3:") {
+		t.Errorf("missing table header: %q", out)
+	}
+}
+
+func TestMarkdownRender(t *testing.T) {
+	code, out, _ := runCLI(t, "-md", "table2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "### table2:") {
+		t.Errorf("missing markdown header: %q", out)
+	}
+}
+
+func TestTopo(t *testing.T) {
+	code, out, _ := runCLI(t, "-scale", "256", "topo")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "hop distance matrix") {
+		t.Errorf("missing topology dump: %q", out)
+	}
+}
+
+// TestRunTiny drives the full CLI path through flag parsing, suite
+// construction and one real (small-scale) simulation.
+func TestRunTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "-parallel", "2", "run", "swaptions", "round-4k")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"app:          swaptions", "completion:", "locality:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if code, _, _ := runCLI(t, "run", "swaptions"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	code, _, errb := runCLI(t, "run", "nosuch", "round-4k")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "unknown application") {
+		t.Errorf("stderr: %q", errb)
+	}
+}
+
+func TestRunBadPolicy(t *testing.T) {
+	if code, _, _ := runCLI(t, "run", "swaptions", "nosuch-policy"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

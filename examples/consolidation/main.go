@@ -7,38 +7,52 @@
 // round-1G policy, then each with its best policy selected through the
 // SetPolicy hypercall. In the colocated setting each VM owns half the
 // NUMA nodes (24 vCPUs each); in the consolidated setting both span all
-// 48 CPUs and every physical CPU runs two vCPUs.
+// 48 CPUs and every physical CPU runs two vCPUs. All four configurations
+// are submitted to the experiment scheduler up front and simulated
+// concurrently.
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	xennuma "repro"
+	"repro/internal/exp"
 )
 
 func main() {
-	opts := xennuma.Options{XenPlus: true, Scale: 64}
-	def := xennuma.MustPolicy("round-1g")
-	bestA := xennuma.MustPolicy("first-touch")        // cg.C's best (Table 4)
-	bestB := xennuma.MustPolicy("round-4k/carrefour") // sp.C's best (Table 4)
+	// A failing simulation surfaces as a panic from the suite; exit
+	// non-zero with the message instead of a stack trace.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintln(os.Stderr, "consolidation:", p)
+			os.Exit(1)
+		}
+	}()
 
-	for _, mode := range []struct {
+	s := exp.NewSuite(64)
+	const def = "round-1g"
+	const bestA = "first-touch"        // cg.C's best (Table 4)
+	const bestB = "round-4k/carrefour" // sp.C's best (Table 4)
+
+	modes := []struct {
 		name string
 		m    xennuma.PairMode
 	}{
 		{"colocated (24 vCPUs each, split nodes)", xennuma.Colocated},
 		{"consolidated (48 vCPUs each, 2 vCPUs per CPU)", xennuma.Consolidated},
-	} {
+	}
+	// Warm every cell on the worker pool, then read the cached results.
+	for _, mode := range modes {
+		s.PrefetchXenPair("cg.C", def, "sp.C", def, mode.m, false)
+		s.PrefetchXenPair("cg.C", bestA, "sp.C", bestB, mode.m, false)
+	}
+	s.Join()
+
+	for _, mode := range modes {
 		fmt.Printf("== %s ==\n", mode.name)
-		a0, b0, err := xennuma.RunXenPair("cg.C", def, "sp.C", def, mode.m, false, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		a1, b1, err := xennuma.RunXenPair("cg.C", bestA, "sp.C", bestB, mode.m, false, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		a0, b0 := s.XenPair("cg.C", def, "sp.C", def, mode.m, false)
+		a1, b1 := s.XenPair("cg.C", bestA, "sp.C", bestB, mode.m, false)
 		fmt.Printf("  cg.C: default %8v  best(first-touch)    %8v  → %+.0f%%\n",
 			a0.Completion, a1.Completion,
 			100*(float64(a0.Completion)/float64(a1.Completion)-1))

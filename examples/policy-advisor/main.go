@@ -9,15 +9,14 @@
 // first-touch, classify the application, and map the class to a policy —
 // high → round-4K/Carrefour, moderate → first-touch/Carrefour,
 // low → first-touch. It then validates the advice against an exhaustive
-// sweep.
+// sweep, fanned out across the experiment scheduler's worker pool.
 package main
 
 import (
 	"fmt"
-	"log"
 	"os"
 
-	xennuma "repro"
+	"repro/internal/exp"
 	"repro/internal/metrics"
 )
 
@@ -33,37 +32,39 @@ func advise(imbalance float64) string {
 }
 
 func main() {
+	// A failing simulation (e.g. an unknown application name) surfaces
+	// as a panic from the suite; exit non-zero with the message.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintln(os.Stderr, "policy-advisor:", p)
+			os.Exit(1)
+		}
+	}()
+
 	apps := os.Args[1:]
 	if len(apps) == 0 {
 		apps = []string{"facesim", "bt.C", "cg.C", "kmeans", "mg.D"}
 	}
-	opts := xennuma.Options{XenPlus: true, Scale: 64}
-	policies := []string{"round-1g", "round-4k", "first-touch", "round-4k/carrefour", "first-touch/carrefour"}
+	s := exp.NewSuite(64)
+	// The probe run and the whole validation sweep are independent
+	// cells: submit them all up front and join once.
+	for _, app := range apps {
+		s.PrefetchXenSweep(app)
+	}
+	s.Join()
 
 	fmt.Printf("%-12s  %-9s  %-5s  %-22s  %-22s  %s\n",
 		"app", "imbalance", "class", "advised", "best (sweep)", "advice gap")
 	for _, app := range apps {
-		// Profile: one run under first-touch to measure the imbalance.
-		probe, err := xennuma.RunXen(app, xennuma.MustPolicy("first-touch"), opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		// Profile: one run under first-touch to measure the imbalance
+		// (a cache hit after the joined sweep).
+		probe := s.Xen(app, "first-touch", true)
 		advice := advise(probe.Imbalance)
 
 		// Validate against the exhaustive sweep.
-		bestPol, bestTime := "", probe.Completion
-		times := map[string]float64{}
-		for _, pol := range policies {
-			r, err := xennuma.RunXen(app, xennuma.MustPolicy(pol), opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			times[pol] = float64(r.Completion)
-			if bestPol == "" || r.Completion < bestTime {
-				bestPol, bestTime = pol, r.Completion
-			}
-		}
-		gap := times[advice]/float64(bestTime) - 1
+		bestPol, best := s.BestXen(app)
+		advised := s.Xen(app, advice, true)
+		gap := float64(advised.Completion)/float64(best.Completion) - 1
 		fmt.Printf("%-12s  %7.0f%%   %-5s  %-22s  %-22s  %+.0f%%\n",
 			app, probe.Imbalance, metrics.Classify(probe.Imbalance),
 			advice, bestPol, 100*gap)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/carrefour"
 	"repro/internal/iosim"
@@ -94,9 +95,6 @@ type runner struct {
 	initTimes []sim.Time
 	ctrlUtil  []float64
 	now       sim.Time
-	// moves accumulates page-migration traffic (from,to) to charge next
-	// epoch.
-	moves map[[2]numa.NodeID]float64
 	// unitsScratch[i][t] is thread t of instance i's work units this
 	// epoch, recorded during the final fill.
 	units [][]float64
@@ -107,7 +105,6 @@ func (r *runner) setup() error {
 	n := r.cfg.Topo.NumNodes()
 	r.load = metrics.NewEpochLoad(r.cfg.Topo, epochSec, r.cfg.CtrlBWBps)
 	r.ctrlUtil = make([]float64, n)
-	r.moves = make(map[[2]numa.NodeID]float64)
 	for _, in := range r.insts {
 		if err := in.Prof.Validate(); err != nil {
 			return err
@@ -384,12 +381,28 @@ func (r *runner) fillLoads(record bool) {
 				in.burstLeft--
 			}
 		}
-		// Page-migration copy traffic from the previous Carrefour tick.
-		for pair, bytes := range in.pendingMoveBytes {
-			r.load.AddDMA(pair[0], pair[1], bytes)
-			if record {
-				il.AddDMA(pair[0], pair[1], bytes)
-				delete(in.pendingMoveBytes, pair)
+		// Page-migration copy traffic from the previous Carrefour tick,
+		// charged in sorted key order: different pairs share interconnect
+		// links, and float accumulation must not depend on map iteration
+		// order for runs to be bit-for-bit reproducible.
+		if len(in.pendingMoveBytes) > 0 {
+			pairs := make([][2]numa.NodeID, 0, len(in.pendingMoveBytes))
+			for pair := range in.pendingMoveBytes {
+				pairs = append(pairs, pair)
+			}
+			sort.Slice(pairs, func(a, b int) bool {
+				if pairs[a][0] != pairs[b][0] {
+					return pairs[a][0] < pairs[b][0]
+				}
+				return pairs[a][1] < pairs[b][1]
+			})
+			for _, pair := range pairs {
+				bytes := in.pendingMoveBytes[pair]
+				r.load.AddDMA(pair[0], pair[1], bytes)
+				if record {
+					il.AddDMA(pair[0], pair[1], bytes)
+					delete(in.pendingMoveBytes, pair)
+				}
 			}
 		}
 	}

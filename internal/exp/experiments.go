@@ -37,6 +37,11 @@ func Fig1(s *Suite) *Table {
 		Title:  "Relative overhead of Xen compared to Linux (lower is better)",
 		Header: []string{"app", "linux", "xen", "overhead"},
 	}
+	for _, app := range Apps() {
+		s.PrefetchLinux(app, "first-touch", false)
+		s.PrefetchXen(app, "round-1g", false)
+	}
+	s.Join()
 	over50, over100 := 0, 0
 	for _, app := range Apps() {
 		l := s.Linux(app, "first-touch", false)
@@ -64,6 +69,12 @@ func Fig2(s *Suite) *Table {
 		Header: []string{"app", "ft/carrefour", "round-4k", "r4k/carrefour", "best(paper)"},
 	}
 	for _, app := range Apps() {
+		for _, pol := range LinuxPolicies {
+			s.PrefetchLinux(app, pol, false)
+		}
+	}
+	s.Join()
+	for _, app := range Apps() {
 		ft := s.Linux(app, "first-touch", false)
 		impr := func(pol string) string {
 			r := s.Linux(app, pol, false)
@@ -87,6 +98,11 @@ func Table1(s *Suite) *Table {
 			"imb FT", "(paper)", "imb R4K", "(paper)",
 			"link FT", "(paper)", "link R4K", "(paper)", "class", "(paper)"},
 	}
+	for _, app := range Apps() {
+		s.PrefetchLinux(app, "first-touch", false)
+		s.PrefetchLinux(app, "round-4k", false)
+	}
+	s.Join()
 	match := 0
 	for _, app := range Apps() {
 		prof, _ := workload.Get(app)
@@ -152,6 +168,11 @@ func Table4(s *Suite) *Table {
 		Title:  "Best NUMA policies (measured vs paper)",
 		Header: []string{"app", "LinuxNUMA", "(paper)", "Xen+NUMA", "(paper)"},
 	}
+	for _, app := range Apps() {
+		s.PrefetchLinuxSweep(app)
+		s.PrefetchXenSweep(app)
+	}
+	s.Join()
 	matchL, matchX := 0, 0
 	for _, app := range Apps() {
 		prof, _ := workload.Get(app)
@@ -192,6 +213,13 @@ func Fig6(s *Suite) *Table {
 		Title:  "Overhead of Linux, Xen and Xen+ vs LinuxNUMA (lower is better)",
 		Header: []string{"app", "linux", "xen", "xen+", "linuxNUMA policy"},
 	}
+	for _, app := range Apps() {
+		s.PrefetchLinuxSweep(app)
+		s.PrefetchLinux(app, "first-touch", false)
+		s.PrefetchXen(app, "round-1g", false)
+		s.PrefetchXen(app, "round-1g", true)
+	}
+	s.Join()
 	over25, over50, over100 := 0, 0, 0
 	for _, app := range Apps() {
 		pol, base := s.BestLinux(app)
@@ -225,6 +253,10 @@ func Fig7(s *Suite) *Table {
 		Title:  "Improvement of the NUMA policies in Xen+ vs Xen+ (higher is better)",
 		Header: []string{"app", "round-4k", "first-touch", "r4k/carrefour", "ft/carrefour", "best", "(paper)"},
 	}
+	for _, app := range Apps() {
+		s.PrefetchXenSweep(app)
+	}
+	s.Join()
 	over100 := 0
 	for _, app := range Apps() {
 		prof, _ := workload.Get(app)
@@ -255,6 +287,11 @@ func Fig10(s *Suite) *Table {
 		Title:  "Overhead of Xen+ and Xen+NUMA vs LinuxNUMA (lower is better)",
 		Header: []string{"app", "xen+", "xen+NUMA", "policy"},
 	}
+	for _, app := range Apps() {
+		s.PrefetchLinuxSweep(app)
+		s.PrefetchXenSweep(app)
+	}
+	s.Join()
 	over50 := 0
 	for _, app := range Apps() {
 		_, base := s.BestLinux(app)

@@ -35,27 +35,49 @@ var Fig9Pairs = []Pair{
 	{"ft.C", "mg.D"},
 }
 
+// pairCell is one two-VM configuration under Xen+: a single cell whose
+// two results are VM A's and VM B's.
+func (s *Suite) pairCell(a, polA, b, polB string, mode xennuma.PairMode, swap bool) (string, cellFn) {
+	key := fmt.Sprintf("pair/%s=%s/%s=%s/mode=%d/swap=%v", a, polA, b, polB, mode, swap)
+	return key, func(o xennuma.Options) ([]engine.Result, error) {
+		o.XenPlus = true
+		pa, err := xennuma.ParsePolicy(polA)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := xennuma.ParsePolicy(polB)
+		if err != nil {
+			return nil, err
+		}
+		ra, rb, err := xennuma.RunXenPair(a, pa, b, pb, mode, swap, o)
+		if err != nil {
+			return nil, err
+		}
+		return []engine.Result{ra, rb}, nil
+	}
+}
+
 // XenPair runs (and memoizes) a two-VM configuration under Xen+.
 func (s *Suite) XenPair(a, polA, b, polB string, mode xennuma.PairMode, swap bool) (engine.Result, engine.Result) {
-	key := fmt.Sprintf("pair/%s=%s/%s=%s/mode=%d/swap=%v", a, polA, b, polB, mode, swap)
-	keyA, keyB := key+"/A", key+"/B"
-	s.mu.Lock()
-	ra, okA := s.cache[keyA]
-	rb, okB := s.cache[keyB]
-	s.mu.Unlock()
-	if okA && okB {
-		return ra, rb
+	key, fn := s.pairCell(a, polA, b, polB, mode, swap)
+	r := s.results(key, fn)
+	return r[0], r[1]
+}
+
+// PrefetchXenPair schedules one two-VM configuration on the worker pool.
+func (s *Suite) PrefetchXenPair(a, polA, b, polB string, mode xennuma.PairMode, swap bool) {
+	key, fn := s.pairCell(a, polA, b, polB, mode, swap)
+	s.prefetch(key, fn)
+}
+
+// pairSwaps returns the node-assignment variants one pair configuration
+// needs: colocated runs average both halves (§5.4.2), consolidated runs
+// have a single assignment.
+func pairSwaps(mode xennuma.PairMode) []bool {
+	if mode == xennuma.Colocated {
+		return []bool{false, true}
 	}
-	o := s.Opt
-	o.XenPlus = true
-	ra, rb, err := xennuma.RunXenPair(a, xennuma.MustPolicy(polA), b, xennuma.MustPolicy(polB), mode, swap, o)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", key, err))
-	}
-	s.mu.Lock()
-	s.cache[keyA], s.cache[keyB] = ra, rb
-	s.mu.Unlock()
-	return ra, rb
+	return []bool{false}
 }
 
 // pairImprovement runs one pair with the default policy (round-1G) and
@@ -66,20 +88,49 @@ func (s *Suite) pairImprovement(p Pair, mode xennuma.PairMode) (imprA, imprB flo
 	polA, _ = s.BestXen(p.A)
 	polB, _ = s.BestXen(p.B)
 	avg := func(pa, pb string) (float64, float64) {
-		a1, b1 := s.XenPair(p.A, pa, p.B, pb, mode, false)
-		if mode == xennuma.Consolidated {
-			return float64(a1.Completion), float64(b1.Completion)
+		var ca, cb float64
+		swaps := pairSwaps(mode)
+		for _, sw := range swaps {
+			a, b := s.XenPair(p.A, pa, p.B, pb, mode, sw)
+			ca += float64(a.Completion)
+			cb += float64(b.Completion)
 		}
-		a2, b2 := s.XenPair(p.A, pa, p.B, pb, mode, true)
-		return (float64(a1.Completion) + float64(a2.Completion)) / 2,
-			(float64(b1.Completion) + float64(b2.Completion)) / 2
+		return ca / float64(len(swaps)), cb / float64(len(swaps))
 	}
 	baseA, baseB := avg("round-1g", "round-1g")
 	bestA, bestB := avg(polA, polB)
 	return baseA/bestA - 1, baseB/bestB - 1, polA, polB
 }
 
+// prefetchPairFigure warms every cell one pair figure reads, in two
+// batches: first the single-VM policy sweeps that select each VM's best
+// policy, then — once those have joined — every two-VM configuration
+// (default and best, both node assignments). All cells of a batch are
+// submitted up front and execute concurrently on the suite's workers.
+func prefetchPairFigure(s *Suite, pairs []Pair, mode xennuma.PairMode) {
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		for _, app := range []string{p.A, p.B} {
+			if !seen[app] {
+				seen[app] = true
+				s.PrefetchXenSweep(app)
+			}
+		}
+	}
+	s.Join()
+	for _, p := range pairs {
+		polA, _ := s.BestXen(p.A) // cache hits after the joined sweep
+		polB, _ := s.BestXen(p.B)
+		for _, sw := range pairSwaps(mode) {
+			s.PrefetchXenPair(p.A, "round-1g", p.B, "round-1g", mode, sw)
+			s.PrefetchXenPair(p.A, polA, p.B, polB, mode, sw)
+		}
+	}
+	s.Join()
+}
+
 func pairFigure(s *Suite, id, title string, pairs []Pair, mode xennuma.PairMode) *Table {
+	prefetchPairFigure(s, pairs, mode)
 	t := &Table{
 		ID:     id,
 		Title:  title,
@@ -115,7 +166,8 @@ func Fig9(s *Suite) *Table {
 		Fig9Pairs, xennuma.Consolidated)
 }
 
-// AllExperiments runs every driver in paper order.
+// AllExperiments runs every driver in paper order. Each driver batches
+// its own cells onto the suite's worker pool.
 func AllExperiments(s *Suite) []*Table {
 	return []*Table{
 		Fig1(s), Fig2(s), Table1(s), Table2(s), Table3(s), Table4(s),

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the
+// full-suite determinism test skips itself under race (the mini variant
+// already covers bit-exactness there) to keep CI wall-clock bounded.
+const raceEnabled = true

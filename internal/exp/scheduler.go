@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Scheduler fans simulation cells out across a bounded pool of workers.
+// Submitted tasks start immediately (each in its own goroutine) but at
+// most Workers of them run at a time; the rest queue on the semaphore.
+// Submit and Wait must not be called concurrently from different
+// goroutines (and tasks must not submit further tasks): the WaitGroup
+// forbids an Add racing a Wait whose counter has reached zero.
+type Scheduler struct {
+	sem       chan struct{}
+	wg        sync.WaitGroup
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+// NewScheduler returns a pool with the given concurrency; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (s *Scheduler) Workers() int { return cap(s.sem) }
+
+// Submit queues fn for execution and returns immediately.
+func (s *Scheduler) Submit(fn func()) {
+	s.wg.Add(1)
+	s.submitted.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.completed.Add(1)
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		fn()
+	}()
+}
+
+// Wait blocks until every submitted task has finished.
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// Stats reports how many tasks were submitted and have completed.
+func (s *Scheduler) Stats() (submitted, completed int64) {
+	return s.submitted.Load(), s.completed.Load()
+}
+
+// cell is one memoized simulation: a single-VM run (one result) or a
+// two-VM run (two results). The first claimer computes it; everyone else
+// blocks on done. Computation never nests cells, so a claimer always
+// makes progress and waiters cannot deadlock.
+type cell struct {
+	done chan struct{}
+	res  []engine.Result
+	err  error
+}
+
+// resultCache is a mutex-sharded singleflight map from cell key to cell,
+// so concurrent workers on disjoint cells do not serialize on one lock.
+type resultCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cell
+}
+
+func newResultCache() *resultCache {
+	c := &resultCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cell)
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)%cacheShards]
+}
+
+// claim returns the cell for key, creating it if absent. created reports
+// whether the caller is the one who must compute it and close done.
+func (c *resultCache) claim(key string) (cl *cell, created bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cl, ok := sh.m[key]; ok {
+		return cl, false
+	}
+	cl = &cell{done: make(chan struct{})}
+	sh.m[key] = cl
+	return cl, true
+}
+
+// has reports whether key is already claimed (computed or in flight)
+// without claiming it.
+func (c *resultCache) has(key string) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.m[key]
+	return ok
+}
+
+// keys returns the sorted cell keys.
+func (c *resultCache) keys() []string {
+	var out []string
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// cellSeed derives the simulation seed for one cell from the suite's
+// base seed and the cell key. Every cell owns an independent random
+// stream that depends only on (base, key), so results are bit-for-bit
+// identical no matter how many workers run the suite or in which order
+// the cells execute. A zero base is remapped to 1 to match
+// Options.normalized.
+func cellSeed(base uint64, key string) uint64 {
+	if base == 0 {
+		base = 1
+	}
+	z := fnv1a(key) ^ (base * 0x9E3779B97F4A7C15)
+	// SplitMix64 finalizer.
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}

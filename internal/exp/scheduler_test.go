@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const workers, tasks = 4, 32
+	s := NewScheduler(workers)
+	var cur, peak, ran atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < tasks; i++ {
+		s.Submit(func() {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			ran.Add(1)
+			cur.Add(-1)
+		})
+	}
+	s.Wait()
+	if ran.Load() != tasks {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+	if sub, done := s.Stats(); sub != tasks || done != tasks {
+		t.Fatalf("stats = (%d, %d), want (%d, %d)", sub, done, tasks, tasks)
+	}
+}
+
+func TestSchedulerDefaultWorkers(t *testing.T) {
+	if NewScheduler(0).Workers() <= 0 {
+		t.Fatal("default worker count not positive")
+	}
+	if w := NewScheduler(7).Workers(); w != 7 {
+		t.Fatalf("Workers() = %d, want 7", w)
+	}
+}
+
+func TestCellSeed(t *testing.T) {
+	a := cellSeed(1, "xen/cg.C/first-touch/plus=true")
+	if b := cellSeed(1, "xen/cg.C/first-touch/plus=true"); a != b {
+		t.Fatal("cellSeed not stable")
+	}
+	if b := cellSeed(1, "xen/sp.C/first-touch/plus=true"); a == b {
+		t.Fatal("different keys share a seed")
+	}
+	if b := cellSeed(2, "xen/cg.C/first-touch/plus=true"); a == b {
+		t.Fatal("different base seeds share a cell seed")
+	}
+	// Zero base is normalized to 1 (matching Options.normalized).
+	if cellSeed(0, "k") != cellSeed(1, "k") {
+		t.Fatal("zero base seed not remapped to 1")
+	}
+	if cellSeed(1, "k") == 0 {
+		t.Fatal("cellSeed returned 0")
+	}
+}
+
+func TestSingleflightDeduplicates(t *testing.T) {
+	s := NewSuiteParallel(256, 8)
+	for i := 0; i < 16; i++ {
+		s.PrefetchXen("swaptions", "round-4k", true)
+	}
+	s.Join()
+	if n := s.CellsComputed(); n != 1 {
+		t.Fatalf("computed %d cells for 16 identical prefetches, want 1", n)
+	}
+	if keys := s.CacheKeys(); len(keys) != 1 {
+		t.Fatalf("cache keys = %v", keys)
+	}
+	// The serial accessor hits the warmed cell.
+	s.Xen("swaptions", "round-4k", true)
+	if n := s.CellsComputed(); n != 1 {
+		t.Fatalf("cache hit recomputed the cell (computed=%d)", n)
+	}
+}
+
+func TestPrefetchedErrorSurfacesOnAccess(t *testing.T) {
+	s := NewSuiteParallel(256, 2)
+	s.PrefetchXen("no-such-app", "round-4k", true)
+	s.Join() // the worker must not crash the process
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("accessing a failed cell did not panic")
+		}
+		if msg, ok := p.(string); !ok || !strings.Contains(msg, "no-such-app") {
+			t.Fatalf("panic %v does not name the cell", p)
+		}
+	}()
+	s.Xen("no-such-app", "round-4k", true)
+}
+
+func TestCacheShardingCoversKeys(t *testing.T) {
+	c := newResultCache()
+	keys := []string{"a", "b", "c", "linux/x/ft/mcs=true", "xen/y/r4k/plus=false", "pair/p"}
+	for _, k := range keys {
+		if _, created := c.claim(k); !created {
+			t.Fatalf("first claim of %q not created", k)
+		}
+	}
+	for _, k := range keys {
+		if _, created := c.claim(k); created {
+			t.Fatalf("second claim of %q created a duplicate", k)
+		}
+	}
+	got := c.keys()
+	if len(got) != len(keys) {
+		t.Fatalf("keys() = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("keys() not sorted: %v", got)
+		}
+	}
+}

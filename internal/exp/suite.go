@@ -2,8 +2,7 @@ package exp
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 
 	xennuma "repro"
 	"repro/internal/engine"
@@ -11,24 +10,46 @@ import (
 )
 
 // Suite runs and memoizes simulations so the experiments can share
-// results (fig6, fig10 and table4 reuse the fig2/fig7 sweeps). It is
-// safe for concurrent use.
+// results (fig6, fig10 and table4 reuse the fig2/fig7 sweeps). Cells are
+// deduplicated with a singleflight cache and can be fanned out across a
+// worker pool with the Prefetch methods. The cell accessors (Linux, Xen,
+// XenPair, Best*) are safe for concurrent use; a Prefetch…/Join batch
+// must be driven from one goroutine at a time (the scheduler's WaitGroup
+// forbids submitting concurrently with a pending Wait). Results are
+// bit-for-bit deterministic for a fixed Opt.Seed regardless of the
+// worker count (each cell derives its own random stream from the cell
+// key).
 type Suite struct {
 	// Opt is the base options; policy/baseline fields are overridden per
-	// run.
+	// run. Configure it before the first run: cells read it when they
+	// execute.
 	Opt xennuma.Options
 
-	mu    sync.Mutex
-	cache map[string]engine.Result
+	sched    *Scheduler
+	cache    *resultCache
+	computed atomic.Int64
 }
 
-// NewSuite returns a suite at the given scale (0 = default).
-func NewSuite(scale int) *Suite {
+// NewSuite returns a suite at the given scale (0 = default) with one
+// worker per CPU.
+func NewSuite(scale int) *Suite { return NewSuiteParallel(scale, 0) }
+
+// NewSuiteParallel returns a suite whose prefetched cells run on at most
+// workers goroutines (<= 0 selects runtime.GOMAXPROCS(0)).
+func NewSuiteParallel(scale, workers int) *Suite {
 	return &Suite{
 		Opt:   xennuma.Options{Scale: scale},
-		cache: make(map[string]engine.Result),
+		sched: NewScheduler(workers),
+		cache: newResultCache(),
 	}
 }
+
+// Workers returns the scheduler's concurrency bound.
+func (s *Suite) Workers() int { return s.sched.Workers() }
+
+// CellsComputed returns how many distinct simulation cells have been
+// executed (cache hits excluded).
+func (s *Suite) CellsComputed() int64 { return s.computed.Load() }
 
 // LinuxPolicies are the four combinations of Figure 2.
 var LinuxPolicies = []string{"first-touch", "first-touch/carrefour", "round-4k", "round-4k/carrefour"}
@@ -36,43 +57,135 @@ var LinuxPolicies = []string{"first-touch", "first-touch/carrefour", "round-4k",
 // XenPolicies are the five configurations of Figure 7.
 var XenPolicies = []string{"round-1g", "round-4k", "first-touch", "round-4k/carrefour", "first-touch/carrefour"}
 
-func (s *Suite) run(key string, fn func() (engine.Result, error)) engine.Result {
-	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return r
+// cellFn computes one cell's results from the cell's derived options.
+type cellFn func(o xennuma.Options) ([]engine.Result, error)
+
+// cellOpts returns the per-cell options: the suite's base options with
+// the seed replaced by the key-derived stream.
+func (s *Suite) cellOpts(key string) xennuma.Options {
+	o := s.Opt
+	o.Seed = cellSeed(s.Opt.Seed, key)
+	return o
+}
+
+// cell resolves a cell: the first caller computes it (recovering panics
+// into the cell's error so waiters are released), later callers block
+// until it is done. It never panics itself; results panics on error.
+func (s *Suite) cell(key string, fn cellFn) *cell {
+	cl, created := s.cache.claim(key)
+	if !created {
+		<-cl.done
+		return cl
 	}
-	s.mu.Unlock()
-	r, err := fn()
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", key, err))
+	func() {
+		defer close(cl.done)
+		defer func() {
+			if p := recover(); p != nil {
+				cl.err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		cl.res, cl.err = fn(s.cellOpts(key))
+	}()
+	s.computed.Add(1)
+	return cl
+}
+
+func (s *Suite) results(key string, fn cellFn) []engine.Result {
+	cl := s.cell(key, fn)
+	if cl.err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", key, cl.err))
 	}
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
-	return r
+	return cl.res
+}
+
+// prefetch schedules a cell on the worker pool, warming the cache. A
+// failing cell is remembered and reported (as a panic) by the serial
+// accessor that reads it, on the caller's goroutine rather than the
+// worker's. Cells already computed or in flight are not resubmitted: a
+// duplicate task would spend its worker slot blocked on the first
+// claimer's completion.
+func (s *Suite) prefetch(key string, fn cellFn) {
+	if s.cache.has(key) {
+		return
+	}
+	s.sched.Submit(func() { s.cell(key, fn) })
+}
+
+// Join blocks until every prefetched cell has completed.
+func (s *Suite) Join() { s.sched.Wait() }
+
+func (s *Suite) linuxCell(app, pol string, mcs bool) (string, cellFn) {
+	key := fmt.Sprintf("linux/%s/%s/mcs=%v", app, pol, mcs)
+	return key, func(o xennuma.Options) ([]engine.Result, error) {
+		o.MCS = mcs
+		p, err := xennuma.ParsePolicy(pol)
+		if err != nil {
+			return nil, err
+		}
+		r, err := xennuma.RunLinux(app, p, o)
+		if err != nil {
+			return nil, err
+		}
+		return []engine.Result{r}, nil
+	}
+}
+
+func (s *Suite) xenCell(app, pol string, xenplus bool) (string, cellFn) {
+	key := fmt.Sprintf("xen/%s/%s/plus=%v", app, pol, xenplus)
+	return key, func(o xennuma.Options) ([]engine.Result, error) {
+		o.XenPlus = xenplus
+		p, err := xennuma.ParsePolicy(pol)
+		if err != nil {
+			return nil, err
+		}
+		r, err := xennuma.RunXen(app, p, o)
+		if err != nil {
+			return nil, err
+		}
+		return []engine.Result{r}, nil
+	}
 }
 
 // Linux runs app natively under pol; mcs selects the MCS-lock variant
 // (LinuxNUMA baseline).
 func (s *Suite) Linux(app, pol string, mcs bool) engine.Result {
-	key := fmt.Sprintf("linux/%s/%s/mcs=%v", app, pol, mcs)
-	return s.run(key, func() (engine.Result, error) {
-		o := s.Opt
-		o.MCS = mcs
-		return xennuma.RunLinux(app, xennuma.MustPolicy(pol), o)
-	})
+	key, fn := s.linuxCell(app, pol, mcs)
+	return s.results(key, fn)[0]
 }
 
 // Xen runs app in a single 48-vCPU VM under pol; xenplus enables the
 // improved baseline (passthrough + MCS).
 func (s *Suite) Xen(app, pol string, xenplus bool) engine.Result {
-	key := fmt.Sprintf("xen/%s/%s/plus=%v", app, pol, xenplus)
-	return s.run(key, func() (engine.Result, error) {
-		o := s.Opt
-		o.XenPlus = xenplus
-		return xennuma.RunXen(app, xennuma.MustPolicy(pol), o)
-	})
+	key, fn := s.xenCell(app, pol, xenplus)
+	return s.results(key, fn)[0]
+}
+
+// PrefetchLinux schedules one native run on the worker pool.
+func (s *Suite) PrefetchLinux(app, pol string, mcs bool) {
+	key, fn := s.linuxCell(app, pol, mcs)
+	s.prefetch(key, fn)
+}
+
+// PrefetchXen schedules one single-VM Xen run on the worker pool.
+func (s *Suite) PrefetchXen(app, pol string, xenplus bool) {
+	key, fn := s.xenCell(app, pol, xenplus)
+	s.prefetch(key, fn)
+}
+
+// PrefetchLinuxSweep schedules the full LinuxNUMA policy sweep for app
+// (the cells BestLinux reads).
+func (s *Suite) PrefetchLinuxSweep(app string) {
+	for _, p := range LinuxPolicies {
+		s.PrefetchLinux(app, p, true)
+	}
+}
+
+// PrefetchXenSweep schedules the full Xen+NUMA policy sweep for app (the
+// cells BestXen reads).
+func (s *Suite) PrefetchXenSweep(app string) {
+	for _, p := range XenPolicies {
+		s.PrefetchXen(app, p, true)
+	}
 }
 
 // BestLinux returns the policy minimizing completion natively (the
@@ -101,14 +214,5 @@ func (s *Suite) best(pols []string, run func(string) engine.Result) (string, eng
 // Apps returns the evaluation's application list.
 func Apps() []string { return workload.Names() }
 
-// CacheKeys lists memoized runs (for tests).
-func (s *Suite) CacheKeys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.cache))
-	for k := range s.cache {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// CacheKeys lists memoized cells (for tests).
+func (s *Suite) CacheKeys() []string { return s.cache.keys() }
