@@ -131,6 +131,37 @@ func TestRegionAccessHead(t *testing.T) {
 	}
 }
 
+func TestCombinedDistWeightsByPageCount(t *testing.T) {
+	// Two slices of very different sizes: the combined distribution must
+	// be dominated by the larger one, not an unweighted average.
+	a := NewRegion("a", RegionDist, 0, 4)
+	for i := 0; i < 3; i++ {
+		a.AddPage(mem.PFN(i), 0)
+	}
+	b := NewRegion("b", RegionDist, 1, 4)
+	b.AddPage(100, 1)
+	d := combinedDist([]*Region{a, b})
+	if d[0] != 0.75 || d[1] != 0.25 {
+		t.Fatalf("combined dist = %v, want [0.75 0.25 0 0]", d)
+	}
+	sum := 0.0
+	for _, x := range d {
+		sum += x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("combined dist sums to %v", sum)
+	}
+	// Empty groups and empty regions are handled.
+	if got := combinedDist(nil); got != nil {
+		t.Fatalf("empty group dist = %v", got)
+	}
+	empty := NewRegion("e", RegionDist, 2, 4)
+	d = combinedDist([]*Region{a, empty})
+	if d[0] != 1 {
+		t.Fatalf("dist with empty member = %v", d)
+	}
+}
+
 func TestRegionHotDist(t *testing.T) {
 	r := NewRegion("hot", RegionHot, 0, 4)
 	r.AddPage(0, 2)

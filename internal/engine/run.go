@@ -154,8 +154,7 @@ func (r *runner) buildInstance(in *Instance) error {
 		hotPages = 512
 	}
 	rest := pages - hotPages
-	wH, wM, wP, wD := in.streams()
-	_ = wH
+	_, wM, wP, wD := in.streams()
 	denom := wM + wP + wD
 	if denom <= 0 {
 		denom = 1
@@ -187,8 +186,7 @@ func (r *runner) buildInstance(in *Instance) error {
 		}
 	}
 
-	path, placement := in.Backend.IO()
-	_ = path
+	_, placement := in.Backend.IO()
 	in.ioStream = iosim.Stream{
 		DemandBps:  in.Prof.DiskMBps * 1.06e6,
 		ReqBytes:   in.Prof.DiskReqBytes,
@@ -648,27 +646,27 @@ func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Samp
 }
 
 // combinedDist averages the placement distributions of a region group,
-// weighting by page count.
+// weighting by page count: a thread crossing slice boundaries is more
+// likely to hit a larger slice.
 func combinedDist(regs []*Region) []float64 {
 	if len(regs) == 0 {
 		return nil
 	}
 	out := make([]float64, regs[0].nNodes)
+	var totalPages float64
 	for _, r := range regs {
-		if len(r.Pages) == 0 {
+		pages := float64(len(r.Pages))
+		if pages == 0 {
 			continue
 		}
+		totalPages += pages
 		for n, share := range r.AccessDist() {
-			out[n] += share
+			out[n] += share * pages
 		}
 	}
-	total := 0.0
-	for _, x := range out {
-		total += x
-	}
-	if total > 0 {
+	if totalPages > 0 {
 		for n := range out {
-			out[n] /= total
+			out[n] /= totalPages
 		}
 	}
 	return out
