@@ -1,0 +1,98 @@
+package xennuma
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current results")
+
+// goldenResult is the serialized view of one engine.Result, flattened so
+// the fixture captures every externally observable field bit-for-bit
+// (floats survive a JSON round trip exactly: Go emits the shortest
+// representation that round-trips).
+type goldenResult struct {
+	App              string
+	Backend          string
+	Completion       int64
+	TimedOut         bool
+	InitTime         int64
+	Imbalance        float64
+	InterconnectLoad float64
+	Locality         float64
+	Migrated         uint64
+	TotalAccesses    float64
+	RemoteAccesses   float64
+}
+
+func toGolden(r Result) goldenResult {
+	return goldenResult{
+		App:              r.App,
+		Backend:          r.Backend,
+		Completion:       int64(r.Completion),
+		TimedOut:         r.TimedOut,
+		InitTime:         int64(r.InitTime),
+		Imbalance:        r.Imbalance,
+		InterconnectLoad: r.InterconnectLoad,
+		Locality:         r.Locality,
+		Migrated:         r.Migrated,
+		TotalAccesses:    r.Stats.TotalAccesses,
+		RemoteAccesses:   r.Stats.RemoteAccesses,
+	}
+}
+
+// TestGoldenEngineResults locks the engine's observable behaviour to a
+// committed fixture: a multi-instance Xen pair and a native run, all
+// with Carrefour on and migrating (facesim is master-heavy, so both
+// heuristics fire), misleading bursts firing (psearchy and dc.B have
+// Burstiness > 0), disk I/O demand, and the TLB model enabled — every
+// stream the epoch loop emits. Any change to the epoch loop that is
+// meant to be a pure refactor must leave this fixture untouched; an
+// intentional behaviour change must regenerate it with
+// `go test -run TestGoldenEngineResults -update .` and justify the diff.
+func TestGoldenEngineResults(t *testing.T) {
+	o := Options{Scale: 64, Seed: 7, XenPlus: true, TLB: true, LargePages: true}
+	a, b, err := RunXenPair("facesim", MustPolicy("first-touch/carrefour"),
+		"psearchy", MustPolicy("round-4k/carrefour"), Consolidated, false, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := RunLinux("dc.B", MustPolicy("first-touch/carrefour"),
+		Options{Scale: 64, Seed: 7, TLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []goldenResult{toGolden(a), toGolden(b), toGolden(native)}
+
+	path := filepath.Join("testdata", "golden_engine.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with -update): %v", err)
+	}
+	var want []goldenResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result count = %d, golden has %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("result %d (%s on %s) diverged from golden:\n got  %+v\n want %+v",
+				i, got[i].App, got[i].Backend, got[i], want[i])
+		}
+	}
+}
