@@ -1,14 +1,15 @@
 // Package engine executes workloads against a placement backend (the Xen
 // hypervisor stack or a native Linux stack) over the simulated machine.
 //
-// Execution is epoch-based: within each epoch every runnable thread
-// issues memory accesses according to its application profile and the
-// current page placement; the resulting per-controller and per-link
-// loads feed the latency model, which in turn paces thread progress.
-// Two fixed-point iterations per epoch make rates and latencies
-// self-consistent. All placement happens through real page-table and
-// allocator operations in the backend, so the policies' mechanisms (not
-// just their statistics) are exercised.
+// Execution is epoch-based: at the top of each epoch every instance
+// rebuilds its access-stream table (streams.go) — the single
+// enumeration of who accesses what at which weight — then each runnable
+// thread issues memory accesses along those streams; the resulting
+// per-controller and per-link loads feed the latency model, which in
+// turn paces thread progress. Four damped fixed-point iterations per
+// epoch make rates and latencies self-consistent. All placement happens
+// through real page-table and allocator operations in the backend, so
+// the policies' mechanisms (not just their statistics) are exercised.
 package engine
 
 import (
@@ -75,11 +76,33 @@ type Region struct {
 	// (Carrefour's replication heuristic, when enabled): all accesses
 	// become local.
 	Replicated bool
+
+	// Distribution caches. Placement mutations (AddPage, SetNode,
+	// SetAccessHead, Replicate) mark them dirty; the accessors recompute
+	// lazily and hand out the internal slice, so steady-state epochs
+	// (no migrations) never allocate. One flag per cache: reading one
+	// distribution must not mark the others clean.
+	distCache   []float64
+	accessCache []float64
+	hotCache    []float64
+	distDirty   bool
+	accessDirty bool
+	hotDirty    bool
 }
 
 // NewRegion returns an empty region for a machine with nNodes nodes.
 func NewRegion(name string, kind RegionKind, owner, nNodes int) *Region {
-	return &Region{Name: name, Kind: kind, Owner: owner, hist: make([]float64, nNodes), nNodes: nNodes}
+	return &Region{
+		Name: name, Kind: kind, Owner: owner,
+		hist: make([]float64, nNodes), nNodes: nNodes,
+		distDirty: true, accessDirty: true, hotDirty: true,
+	}
+}
+
+// invalidate marks every cached distribution stale after a placement
+// mutation.
+func (r *Region) invalidate() {
+	r.distDirty, r.accessDirty, r.hotDirty = true, true, true
 }
 
 // SetAccessHead declares that accesses concentrate on the first limit
@@ -90,6 +113,7 @@ func (r *Region) SetAccessHead(limit int) {
 	for i := 0; i < len(r.Pages) && i < limit; i++ {
 		r.histHead[r.nodes[i]]++
 	}
+	r.invalidate()
 }
 
 // AddPage records a materialized page and its placement.
@@ -100,6 +124,7 @@ func (r *Region) AddPage(p mem.PFN, node numa.NodeID) {
 	if r.headLimit > 0 && len(r.Pages) <= r.headLimit {
 		r.histHead[node]++
 	}
+	r.invalidate()
 }
 
 // SetNode updates page i's placement after a migration.
@@ -115,6 +140,18 @@ func (r *Region) SetNode(i int, node numa.NodeID) {
 		r.histHead[node]++
 	}
 	r.nodes[i] = node
+	r.invalidate()
+}
+
+// Replicate marks the region as having a copy on every node. It reports
+// whether the flag changed (false when already replicated).
+func (r *Region) Replicate() bool {
+	if r.Replicated {
+		return false
+	}
+	r.Replicated = true
+	r.invalidate()
+	return true
 }
 
 // Len returns the number of materialized pages.
@@ -124,49 +161,79 @@ func (r *Region) Len() int { return len(r.Pages) }
 func (r *Region) NodeOf(i int) numa.NodeID { return r.nodes[i] }
 
 // Dist returns the placement distribution (shares per node summing to 1;
-// uniform-zero when empty).
+// uniform-zero when empty). The returned slice is owned by the region
+// and stays valid until the next placement mutation; callers must not
+// modify it.
 func (r *Region) Dist() []float64 {
-	out := make([]float64, r.nNodes)
-	if len(r.Pages) == 0 {
-		return out
+	if r.distCache == nil {
+		r.distCache = make([]float64, r.nNodes)
+		r.distDirty = true
 	}
-	total := float64(len(r.Pages))
-	for n, c := range r.hist {
-		out[n] = c / total
+	if r.distDirty {
+		out := r.distCache
+		for n := range out {
+			out[n] = 0
+		}
+		if total := float64(len(r.Pages)); total > 0 {
+			for n, c := range r.hist {
+				out[n] = c / total
+			}
+		}
+		r.distDirty = false
 	}
-	return out
+	return r.distCache
 }
 
 // AccessDist returns the access-weighted placement distribution: the
 // working-set head when SetAccessHead was called, the whole region
-// otherwise.
+// otherwise. Like Dist, the returned slice is owned by the region and
+// valid until the next placement mutation.
 func (r *Region) AccessDist() []float64 {
 	if r.headLimit <= 0 || r.headLimit >= len(r.Pages) {
 		return r.Dist()
 	}
-	out := make([]float64, r.nNodes)
-	total := 0.0
-	for _, c := range r.histHead {
-		total += c
+	if r.accessCache == nil {
+		r.accessCache = make([]float64, r.nNodes)
+		r.accessDirty = true
 	}
-	if total == 0 {
-		return r.Dist()
+	if r.accessDirty {
+		total := 0.0
+		for _, c := range r.histHead {
+			total += c
+		}
+		if total == 0 {
+			// An unmaterialized head carries no information; keep the
+			// cache dirty so the head is picked up once pages land.
+			return r.Dist()
+		}
+		for n, c := range r.histHead {
+			r.accessCache[n] = c / total
+		}
+		r.accessDirty = false
 	}
-	for n, c := range r.histHead {
-		out[n] = c / total
-	}
-	return out
+	return r.accessCache
 }
 
 // HotDist returns the access-weighted distribution for a hot region: all
-// accesses hit the single hottest page (page 0).
+// accesses hit the single hottest page (page 0). Like Dist, the returned
+// slice is owned by the region and valid until the next placement
+// mutation.
 func (r *Region) HotDist() []float64 {
-	out := make([]float64, r.nNodes)
-	if len(r.Pages) == 0 {
-		return out
+	if r.hotCache == nil {
+		r.hotCache = make([]float64, r.nNodes)
+		r.hotDirty = true
 	}
-	out[r.nodes[0]] = 1
-	return out
+	if r.hotDirty {
+		out := r.hotCache
+		for n := range out {
+			out[n] = 0
+		}
+		if len(r.Pages) > 0 {
+			out[r.nodes[0]] = 1
+		}
+		r.hotDirty = false
+	}
+	return r.hotCache
 }
 
 // Backend materializes, frees and migrates region pages on a concrete
@@ -240,6 +307,12 @@ type Instance struct {
 	footprintBytes float64
 	ioStream       iosim.Stream
 
+	// streamTab is the epoch's access-stream table, rebuilt by
+	// refreshStreams at the top of every epoch; distAll is the scratch
+	// buffer backing its cross-slice combined distribution.
+	streamTab streamTable
+	distAll   []float64
+
 	// burst state (Carrefour-misleading temporary remote accesses).
 	burstLeft   int
 	burstNode   numa.NodeID
@@ -263,8 +336,8 @@ type regionSizes struct {
 // per application (Profile.CrossShare).
 const DefaultCrossShare = 0.25
 
-// Streams returns the access-stream weights of the instance's profile.
-func (in *Instance) streams() (wHot, wMaster, wPriv, wDist float64) {
+// weights returns the access-stream weights of the instance's profile.
+func (in *Instance) weights() (wHot, wMaster, wPriv, wDist float64) {
 	p := in.Prof
 	return p.HotShare, p.MasterShare, p.PrivateShare, p.DistShare
 }

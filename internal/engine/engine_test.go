@@ -131,6 +131,95 @@ func TestRegionAccessHead(t *testing.T) {
 	}
 }
 
+func TestRegionDistCachingInvalidation(t *testing.T) {
+	r := NewRegion("r", RegionMaster, 0, 4)
+	r.AddPage(0, 1)
+	d1 := r.Dist()
+	if d1[1] != 1 {
+		t.Fatalf("dist = %v", d1)
+	}
+	// A clean region hands out its cache, not a fresh slice.
+	if d2 := r.Dist(); &d1[0] != &d2[0] {
+		t.Fatal("Dist reallocated without a placement mutation")
+	}
+	// Every mutator invalidates.
+	r.AddPage(1, 2)
+	if d := r.Dist(); d[1] != 0.5 || d[2] != 0.5 {
+		t.Fatalf("stale dist after AddPage: %v", d)
+	}
+	r.SetNode(0, 3)
+	if d := r.Dist(); d[1] != 0 || d[3] != 0.5 {
+		t.Fatalf("stale dist after SetNode: %v", d)
+	}
+	r.SetAccessHead(1)
+	if ad := r.AccessDist(); ad[3] != 1 {
+		t.Fatalf("stale access dist after SetAccessHead: %v", ad)
+	}
+	hot := NewRegion("hot", RegionHot, 0, 4)
+	hot.AddPage(0, 2)
+	if hd := hot.HotDist(); hd[2] != 1 {
+		t.Fatalf("hot dist = %v", hd)
+	}
+	hot.SetNode(0, 1)
+	if hd := hot.HotDist(); hd[1] != 1 || hd[2] != 0 {
+		t.Fatalf("stale hot dist after SetNode: %v", hd)
+	}
+	if !hot.Replicate() || hot.Replicate() {
+		t.Fatal("Replicate not idempotent-with-report")
+	}
+}
+
+// TestStreamTableRefresh checks the canonical stream enumeration: the
+// per-thread emission order, the weight split of the distributed
+// streams, and the replicated-hot local flag.
+func TestStreamTableRefresh(t *testing.T) {
+	topo := numa.AMD48Scaled(64)
+	in := &Instance{Prof: testProfile(), Backend: newStub(topo, false), NThreads: 4}
+	r := &runner{cfg: testConfig(topo), insts: []*Instance{in}, rand: sim.NewRand(1)}
+	if err := r.setup(); err != nil {
+		t.Fatal(err)
+	}
+	in.refreshStreams()
+	tbl := &in.streamTab
+	kinds := []streamKind{streamHot, streamMaster, streamPrivate, streamDistOwn, streamDistCross}
+	if len(tbl.streams) != len(kinds) {
+		t.Fatalf("stream count = %d, want %d", len(tbl.streams), len(kinds))
+	}
+	for i, k := range kinds {
+		if tbl.streams[i].kind != k {
+			t.Fatalf("stream %d kind = %v, want %v", i, tbl.streams[i].kind, k)
+		}
+	}
+	wH, wM, wP, wD := in.weights()
+	cross := in.Prof.CrossShare
+	if tbl.streams[0].weight != wH || tbl.streams[1].weight != wM || tbl.streams[2].weight != wP {
+		t.Fatal("shared/private stream weights do not match the profile")
+	}
+	if tbl.streams[3].weight != wD*(1-cross) || tbl.streams[4].weight != wD*cross {
+		t.Fatal("distributed stream weight split does not match CrossShare")
+	}
+	// Per-thread streams resolve through the owning thread's region.
+	for _, th := range in.Threads {
+		if got := tbl.streams[2].distFor(th); &got[0] != &in.priv[th.ID].AccessDist()[0] {
+			t.Fatalf("private stream of thread %d resolves to the wrong region", th.ID)
+		}
+	}
+	if tbl.streams[0].local {
+		t.Fatal("hot stream local before replication")
+	}
+	in.hot.Replicate()
+	in.refreshStreams()
+	if !tbl.find(streamHot).local {
+		t.Fatal("hot stream not local after replication")
+	}
+	// The refresh reuses the table storage: no growth across epochs.
+	before := cap(tbl.streams)
+	in.refreshStreams()
+	if cap(tbl.streams) != before {
+		t.Fatal("refreshStreams reallocated the stream slice")
+	}
+}
+
 func TestCombinedDistWeightsByPageCount(t *testing.T) {
 	// Two slices of very different sizes: the combined distribution must
 	// be dominated by the larger one, not an unweighted average.

@@ -98,6 +98,11 @@ type runner struct {
 	// unitsScratch[i][t] is thread t of instance i's work units this
 	// epoch, recorded during the final fill.
 	units [][]float64
+
+	// Scratch buffers, reused so steady-state epochs allocate nothing.
+	ioTarget  [1]numa.NodeID   // single-node DMA target of ioFactor
+	movePairs [][2]numa.NodeID // sorted pendingMoveBytes keys
+	tickUtil  []float64        // controller-utilization copy for Carrefour ticks
 }
 
 func (r *runner) setup() error {
@@ -154,7 +159,7 @@ func (r *runner) buildInstance(in *Instance) error {
 		hotPages = 512
 	}
 	rest := pages - hotPages
-	_, wM, wP, wD := in.streams()
+	_, wM, wP, wD := in.weights()
 	denom := wM + wP + wD
 	if denom <= 0 {
 		denom = 1
@@ -254,25 +259,7 @@ func (r *runner) loop() {
 		if r.allDone() {
 			return
 		}
-		// Damped fixed-point iterations couple access rates and latency
-		// (undamped, saturated configurations oscillate between idle and
-		// saturated estimates).
-		const iters = 4
-		for iter := 0; iter < iters; iter++ {
-			r.fillLoads(iter == iters-1)
-			r.updateLatencies()
-		}
-		r.progress()
-		for i := range r.insts {
-			r.stats[i].Observe(r.instLoads[i])
-		}
-		if r.cfg.CarrefourEvery > 0 && step%r.cfg.CarrefourEvery == 0 {
-			for i, in := range r.insts {
-				if in.Carrefour && !in.done {
-					r.carrefourTick(i, in)
-				}
-			}
-		}
+		r.epoch(step)
 	}
 	// Timed out: mark unfinished instances.
 	for _, in := range r.insts {
@@ -289,6 +276,36 @@ func (r *runner) loop() {
 	}
 }
 
+// epoch advances the simulation by one quantum: refresh each live
+// instance's stream table, couple rates and latencies, apply progress,
+// fold the epoch into the statistics, and run due Carrefour ticks.
+func (r *runner) epoch(step int) {
+	for _, in := range r.insts {
+		if !in.done {
+			in.refreshStreams()
+		}
+	}
+	// Damped fixed-point iterations couple access rates and latency
+	// (undamped, saturated configurations oscillate between idle and
+	// saturated estimates).
+	const iters = 4
+	for iter := 0; iter < iters; iter++ {
+		r.fillLoads(iter == iters-1)
+		r.updateLatencies()
+	}
+	r.progress()
+	for i := range r.insts {
+		r.stats[i].Observe(r.instLoads[i])
+	}
+	if r.cfg.CarrefourEvery > 0 && step%r.cfg.CarrefourEvery == 0 {
+		for i, in := range r.insts {
+			if in.Carrefour && !in.done {
+				r.carrefourTick(i, in)
+			}
+		}
+	}
+}
+
 func (r *runner) allDone() bool {
 	for _, in := range r.insts {
 		if !in.done {
@@ -299,8 +316,9 @@ func (r *runner) allDone() bool {
 }
 
 // fillLoads recomputes the epoch's traffic from current latency
-// estimates. When record is true, per-thread work units are captured for
-// the progress step and per-instance loads are filled.
+// estimates by walking each live instance's stream table. When record is
+// true, per-thread work units are captured for the progress step and
+// per-instance loads are filled.
 func (r *runner) fillLoads(record bool) {
 	r.load.Reset()
 	epochNs := float64(r.cfg.Epoch)
@@ -313,11 +331,8 @@ func (r *runner) fillLoads(record bool) {
 			continue
 		}
 		ioFactor := r.ioFactor(in, record, il)
-		wH, wM, wP, wD := in.streams()
-		cross := in.Prof.CrossShare
-		hotD := in.hot.HotDist()
-		masterD := in.master.AccessDist()
-		distAll := combinedDist(in.dist)
+		overhead := r.overheadFrac(in)
+		streams := in.streamTab.streams
 		var totalMisses float64
 		for ti, t := range in.Threads {
 			if t.Done {
@@ -328,40 +343,36 @@ func (r *runner) fillLoads(record bool) {
 			if avail < 0 {
 				avail = 0
 			}
-			eff := avail * (1 - r.overheadFrac(in)) * ioFactor
+			eff := avail * (1 - overhead) * ioFactor
 			units := eff / (in.Prof.CPUNsPerUnit() + t.latNs)
 			if record {
 				r.units[i][ti] = units
 			}
 			totalMisses += units
-			emit := func(w float64, dist []float64) {
-				if w <= 0 {
-					return
+			for si := range streams {
+				s := &streams[si]
+				if s.weight <= 0 {
+					continue
 				}
-				for n, share := range dist {
+				if s.local {
+					// Replicated pages have a local copy on every node.
+					r.load.AddAccesses(t.Node, t.Node, units*s.weight)
+					if record {
+						il.AddAccesses(t.Node, t.Node, units*s.weight)
+					}
+					continue
+				}
+				for n, share := range s.distFor(t) {
 					if share <= 0 {
 						continue
 					}
-					cnt := units * w * share
+					cnt := units * s.weight * share
 					r.load.AddAccesses(t.Node, numa.NodeID(n), cnt)
 					if record {
 						il.AddAccesses(t.Node, numa.NodeID(n), cnt)
 					}
 				}
 			}
-			if in.hot.Replicated {
-				// Replicated pages have a local copy on every node.
-				r.load.AddAccesses(t.Node, t.Node, units*wH)
-				if record {
-					il.AddAccesses(t.Node, t.Node, units*wH)
-				}
-			} else {
-				emit(wH, hotD)
-			}
-			emit(wM, masterD)
-			emit(wP, in.priv[t.ID].AccessDist())
-			emit(wD*(1-cross), in.dist[t.ID].AccessDist())
-			emit(wD*cross, distAll)
 		}
 		// Temporary remote burst against a private region: traffic that
 		// misleads Carrefour (§3.5.2).
@@ -384,10 +395,11 @@ func (r *runner) fillLoads(record bool) {
 		// links, and float accumulation must not depend on map iteration
 		// order for runs to be bit-for-bit reproducible.
 		if len(in.pendingMoveBytes) > 0 {
-			pairs := make([][2]numa.NodeID, 0, len(in.pendingMoveBytes))
+			pairs := r.movePairs[:0]
 			for pair := range in.pendingMoveBytes {
 				pairs = append(pairs, pair)
 			}
+			r.movePairs = pairs
 			sort.Slice(pairs, func(a, b int) bool {
 				if pairs[a][0] != pairs[b][0] {
 					return pairs[a][0] < pairs[b][0]
@@ -416,9 +428,10 @@ func (r *runner) ioFactor(in *Instance, record bool, il *metrics.EpochLoad) floa
 	delivered, progress := in.ioStream.Delivered(path, r.cfg.Disk)
 	epochSec := float64(r.cfg.Epoch) / 1e9
 	bytes := delivered * epochSec
-	targets := []numa.NodeID{in.ioStream.BufferNode}
-	if in.ioStream.Placement == iosim.BufferScattered && len(in.ioStream.HomeNodes) > 0 {
-		targets = in.ioStream.HomeNodes
+	targets := in.ioStream.HomeNodes
+	if in.ioStream.Placement != iosim.BufferScattered || len(in.ioStream.HomeNodes) == 0 {
+		r.ioTarget[0] = in.ioStream.BufferNode
+		targets = r.ioTarget[:]
 	}
 	per := bytes / float64(len(targets))
 	for _, n := range targets {
@@ -446,50 +459,43 @@ func (r *runner) overheadFrac(in *Instance) float64 {
 }
 
 // updateLatencies recomputes each thread's average memory access latency
-// from the current loads.
+// from the current loads, walking the same stream table fillLoads emits
+// from.
 func (r *runner) updateLatencies() {
 	lm := r.cfg.Topo.Latency
-	for n := range r.ctrlUtil {
-		r.ctrlUtil[n] = r.load.CtrlUtil(numa.NodeID(n))
-	}
+	r.load.FillCtrlUtil(r.ctrlUtil)
 	for _, in := range r.insts {
 		if in.done {
 			continue
 		}
-		wH, wM, wP, wD := in.streams()
-		cross := in.Prof.CrossShare
-		hotD := in.hot.HotDist()
-		masterD := in.master.AccessDist()
-		distAll := combinedDist(in.dist)
+		streams := in.streamTab.streams
 		for _, t := range in.Threads {
 			if t.Done {
 				continue
 			}
 			var cyc float64
-			acc := func(w float64, dist []float64) {
-				if w <= 0 {
-					return
+			for si := range streams {
+				s := &streams[si]
+				if s.weight <= 0 {
+					continue
 				}
-				for n, share := range dist {
+				if s.local {
+					// Replicated pages: the whole stream is a local
+					// access on the issuing thread's node.
+					hops := r.cfg.Topo.Distance(t.Node, t.Node)
+					link := r.load.PathLinkUtil(t.Node, t.Node)
+					cyc += s.weight * lm.AccessCycles(hops, r.ctrlUtil[t.Node], link)
+					continue
+				}
+				for n, share := range s.distFor(t) {
 					if share <= 0 {
 						continue
 					}
 					hops := r.cfg.Topo.Distance(t.Node, numa.NodeID(n))
 					link := r.load.PathLinkUtil(t.Node, numa.NodeID(n))
-					cyc += w * share * lm.AccessCycles(hops, r.ctrlUtil[n], link)
+					cyc += s.weight * share * lm.AccessCycles(hops, r.ctrlUtil[n], link)
 				}
 			}
-			if in.hot.Replicated {
-				local := make([]float64, len(hotD))
-				local[t.Node] = 1
-				acc(wH, local)
-			} else {
-				acc(wH, hotD)
-			}
-			acc(wM, masterD)
-			acc(wP, in.priv[t.ID].AccessDist())
-			acc(wD*(1-cross), in.dist[t.ID].AccessDist())
-			acc(wD*cross, distAll)
 			if r.cfg.TLB != nil {
 				ws := in.footprintBytes * in.Prof.WorkingSet / float64(in.NThreads)
 				cyc += r.cfg.TLB.WalkPenaltyCycles(ws, in.LargePages, in.Backend.Virtualized())
@@ -564,8 +570,9 @@ func (r *runner) carrefourTick(i int, in *Instance) {
 		}
 	}
 	var moves []carrefour.Move
+	r.tickUtil = append(r.tickUtil[:0], r.ctrlUtil...)
 	tick := carrefour.Tick{
-		CtrlUtil:    append([]float64(nil), r.ctrlUtil...),
+		CtrlUtil:    r.tickUtil,
 		MaxLinkUtil: r.load.MaxLinkUtil(),
 		Samples:     r.samples(in, &moves),
 		Rand:        r.rand,
@@ -588,9 +595,12 @@ func (r *runner) carrefourTick(i int, in *Instance) {
 	}
 }
 
-// samples builds the Carrefour view of the instance's regions.
+// samples builds the Carrefour view of the instance's regions from the
+// epoch's stream table. The emitted order (hot, master, dist slices,
+// private slices) is part of the deterministic contract: Carrefour's
+// hotness sort is stable, so ties keep this order.
 func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Sample {
-	wH, wM, wP, wD := in.streams()
+	tbl := &in.streamTab
 	nNodes := r.cfg.Topo.NumNodes()
 	// Accessor distribution of shared regions: the running threads.
 	shared := make([]float64, nNodes)
@@ -616,22 +626,24 @@ func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Samp
 		}
 	}
 	out := []carrefour.Sample{
-		mk(in.hot, wH, shared, true),
-		mk(in.master, wM, shared, false),
+		mk(tbl.find(streamHot).reg, tbl.wHot, shared, true),
+		mk(tbl.find(streamMaster).reg, tbl.wMaster, shared, false),
 	}
-	cross := in.Prof.CrossShare
-	for _, reg := range in.dist {
+	// One sample per dist slice; its accessors blend the owner with the
+	// cross-slice traffic of everyone else. (The dist-cross stream is
+	// not a separate page set: it is this blend.)
+	for _, reg := range tbl.find(streamDistOwn).perThread {
 		acc := make([]float64, nNodes)
 		owner := in.Threads[reg.Owner].Node
 		for n := range acc {
-			acc[n] = cross * shared[n]
+			acc[n] = tbl.cross * shared[n]
 		}
-		acc[owner] += 1 - cross
-		out = append(out, mk(reg, wD/float64(in.NThreads), acc, false))
+		acc[owner] += 1 - tbl.cross
+		out = append(out, mk(reg, tbl.wDist/float64(in.NThreads), acc, false))
 	}
-	for _, reg := range in.priv {
+	for _, reg := range tbl.find(streamPrivate).perThread {
 		acc := make([]float64, nNodes)
-		share := wP / float64(in.NThreads)
+		share := tbl.wPriv / float64(in.NThreads)
 		if in.burstLeft > 0 && reg == in.burstRegion {
 			// The sampler currently sees mostly the burst's remote
 			// accesses against this region.
@@ -641,33 +653,6 @@ func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Samp
 			acc[in.Threads[reg.Owner].Node] = 1
 		}
 		out = append(out, mk(reg, share, acc, false))
-	}
-	return out
-}
-
-// combinedDist averages the placement distributions of a region group,
-// weighting by page count: a thread crossing slice boundaries is more
-// likely to hit a larger slice.
-func combinedDist(regs []*Region) []float64 {
-	if len(regs) == 0 {
-		return nil
-	}
-	out := make([]float64, regs[0].nNodes)
-	var totalPages float64
-	for _, r := range regs {
-		pages := float64(len(r.Pages))
-		if pages == 0 {
-			continue
-		}
-		totalPages += pages
-		for n, share := range r.AccessDist() {
-			out[n] += share * pages
-		}
-	}
-	if totalPages > 0 {
-		for n := range out {
-			out[n] /= totalPages
-		}
 	}
 	return out
 }
@@ -685,13 +670,7 @@ func (s *pageSet) NodeOf(i int) numa.NodeID { return s.r.NodeOf(i) }
 
 // Replicate implements carrefour.Replicator: every node gets a copy of
 // the set, so subsequent accesses are local. Idempotent.
-func (s *pageSet) Replicate() bool {
-	if s.r.Replicated {
-		return false
-	}
-	s.r.Replicated = true
-	return true
-}
+func (s *pageSet) Replicate() bool { return s.r.Replicate() }
 func (s *pageSet) Migrate(i int, to numa.NodeID) bool {
 	from := s.r.NodeOf(i)
 	if !s.b.Migrate(s.r, i, to) {

@@ -1,0 +1,143 @@
+package engine
+
+// The access-stream layer: one canonical enumeration of an instance's
+// memory-access streams, consumed by everything that used to hand-roll
+// it (fillLoads' traffic emission, updateLatencies' cost accumulation,
+// and the Carrefour sampler's region view). Adding a new stream kind
+// means adding one table entry here, not editing three loops in
+// lockstep.
+
+// streamKind identifies one of the instance's access streams.
+type streamKind int
+
+const (
+	// streamHot is the hottest-page stream: every thread hits the hot
+	// region's single hottest page (or a local replica once replicated).
+	streamHot streamKind = iota
+	// streamMaster is every thread's traffic against the master-touched
+	// region.
+	streamMaster
+	// streamPrivate is each thread's traffic against its own private
+	// region.
+	streamPrivate
+	// streamDistOwn is each thread's traffic against its own slice of
+	// the distributed-shared region.
+	streamDistOwn
+	// streamDistCross is the cross-slice fraction of distributed-shared
+	// traffic, spread over the combined placement of all slices.
+	streamDistCross
+)
+
+// stream is one access stream for the current epoch: who issues it, at
+// what per-thread weight, and against which placement distribution.
+type stream struct {
+	kind streamKind
+	// weight is the fraction of each issuing thread's misses carried by
+	// this stream.
+	weight float64
+	// reg backs a shared stream (hot, master); nil for per-thread and
+	// combined streams.
+	reg *Region
+	// perThread maps thread ID to the region that thread issues against
+	// (private and dist-own streams); nil for shared streams.
+	perThread []*Region
+	// dist is the shared placement distribution (nil for per-thread
+	// streams, which resolve through perThread at emission time).
+	dist []float64
+	// local marks a replicated stream: every access lands on the
+	// issuing thread's own node.
+	local bool
+}
+
+// distFor resolves the placement distribution stream s presents to
+// thread t.
+func (s *stream) distFor(t *Thread) []float64 {
+	if s.dist != nil {
+		return s.dist
+	}
+	return s.perThread[t.ID].AccessDist()
+}
+
+// streamTable is an instance's per-epoch stream enumeration, in
+// per-thread emission order. The raw profile weights ride along for
+// consumers (the Carrefour sampler) that need per-region shares rather
+// than per-thread emission weights.
+type streamTable struct {
+	streams []stream
+
+	wHot, wMaster, wPriv, wDist float64
+	cross                       float64
+}
+
+// find returns the table's stream of the given kind, or nil when the
+// table has none.
+func (t *streamTable) find(k streamKind) *stream {
+	for i := range t.streams {
+		if t.streams[i].kind == k {
+			return &t.streams[i]
+		}
+	}
+	return nil
+}
+
+// refreshStreams rebuilds the instance's stream table for the coming
+// epoch. Placement only mutates between epochs (materialization before
+// the loop, Carrefour ticks after the fixed-point iterations), so the
+// table and the distribution slices it aliases stay valid for the whole
+// epoch. The streams slice and the combined-distribution scratch are
+// reused: steady-state epochs allocate nothing.
+func (in *Instance) refreshStreams() {
+	t := &in.streamTab
+	t.wHot, t.wMaster, t.wPriv, t.wDist = in.weights()
+	t.cross = in.Prof.CrossShare
+	in.distAll = combinedDistInto(in.distAll, in.dist)
+	t.streams = append(t.streams[:0],
+		stream{kind: streamHot, weight: t.wHot, reg: in.hot,
+			dist: in.hot.HotDist(), local: in.hot.Replicated},
+		stream{kind: streamMaster, weight: t.wMaster, reg: in.master,
+			dist: in.master.AccessDist()},
+		stream{kind: streamPrivate, weight: t.wPriv, perThread: in.priv},
+		stream{kind: streamDistOwn, weight: t.wDist * (1 - t.cross), perThread: in.dist},
+		stream{kind: streamDistCross, weight: t.wDist * t.cross, dist: in.distAll},
+	)
+}
+
+// combinedDist averages the placement distributions of a region group,
+// weighting by page count: a thread crossing slice boundaries is more
+// likely to hit a larger slice.
+func combinedDist(regs []*Region) []float64 {
+	return combinedDistInto(nil, regs)
+}
+
+// combinedDistInto is combinedDist writing into dst (grown if needed)
+// so per-epoch callers can reuse one scratch buffer.
+func combinedDistInto(dst []float64, regs []*Region) []float64 {
+	if len(regs) == 0 {
+		return nil
+	}
+	if cap(dst) < regs[0].nNodes {
+		dst = make([]float64, regs[0].nNodes)
+	} else {
+		dst = dst[:regs[0].nNodes]
+		for n := range dst {
+			dst[n] = 0
+		}
+	}
+	var totalPages float64
+	for _, r := range regs {
+		pages := float64(len(r.Pages))
+		if pages == 0 {
+			continue
+		}
+		totalPages += pages
+		for n, share := range r.AccessDist() {
+			dst[n] += share * pages
+		}
+	}
+	if totalPages > 0 {
+		for n := range dst {
+			dst[n] /= totalPages
+		}
+	}
+	return dst
+}

@@ -39,11 +39,19 @@ func Breakdown() []Stage {
 	}
 }
 
+// The totals are fixed calibration constants; precomputing them keeps
+// the engine's per-epoch overhead query from rebuilding the breakdown
+// slice on every call.
+var (
+	nativeCost = total(false)
+	guestCost  = total(true)
+)
+
 // NativeCost returns the native IPI round-trip cost (~0.9 µs).
-func NativeCost() sim.Time { return total(false) }
+func NativeCost() sim.Time { return nativeCost }
 
 // GuestCost returns the virtualized IPI round-trip cost (~10.9 µs).
-func GuestCost() sim.Time { return total(true) }
+func GuestCost() sim.Time { return guestCost }
 
 func total(guest bool) sim.Time {
 	var t sim.Time

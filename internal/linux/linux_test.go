@@ -70,6 +70,25 @@ func TestMigrateMovesFrame(t *testing.T) {
 	}
 }
 
+// TestMigrateInvalidatesCachedDist: the engine hands out cached
+// distribution slices, so a migration through the backend must be
+// visible in a previously read distribution's successor.
+func TestMigrateInvalidatesCachedDist(t *testing.T) {
+	topo := numa.SmallMachine(4, 2, 64<<20)
+	b, _ := New(topo, policy.Config{Static: policy.FirstTouch})
+	r := engine.NewRegion("r", engine.RegionPrivate, 0, 4)
+	b.Place(r, 10, 0)
+	if d := r.Dist(); d[0] != 1 {
+		t.Fatalf("dist after place = %v", d)
+	}
+	if !b.Migrate(r, 0, 3) {
+		t.Fatal("migration refused")
+	}
+	if d := r.Dist(); d[0] != 0.9 || d[3] != 0.1 {
+		t.Fatalf("cached dist stale after backend migration: %v", d)
+	}
+}
+
 func TestReleaseRestoresMemory(t *testing.T) {
 	topo := numa.SmallMachine(2, 2, 64<<20)
 	b, _ := New(topo, policy.Config{Static: policy.Round4K})

@@ -107,6 +107,14 @@ func (l *EpochLoad) CtrlUtil(node numa.NodeID) float64 {
 	return u
 }
 
+// FillCtrlUtil writes every node's controller utilization into dst
+// (len = node count), letting per-epoch callers reuse one buffer.
+func (l *EpochLoad) FillCtrlUtil(dst []float64) {
+	for n := range dst {
+		dst[n] = l.CtrlUtil(numa.NodeID(n))
+	}
+}
+
 // LinkUtil returns the utilization of link index li in [0,1].
 func (l *EpochLoad) LinkUtil(li int) float64 {
 	u := l.linkBytes[li] / (l.topo.Links[li].BandwidthBps * l.epochSeconds)

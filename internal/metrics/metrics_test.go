@@ -89,6 +89,23 @@ func TestCtrlUtil(t *testing.T) {
 	}
 }
 
+func TestFillCtrlUtil(t *testing.T) {
+	topo, l := testLoad(t)
+	full := 13 * float64(1<<30) * 0.005 / CacheLine
+	l.AddAccesses(0, 0, full/2)
+	l.AddAccesses(1, 3, full/4)
+	dst := make([]float64, topo.NumNodes())
+	l.FillCtrlUtil(dst)
+	for n := range dst {
+		if want := l.CtrlUtil(numa.NodeID(n)); dst[n] != want {
+			t.Fatalf("FillCtrlUtil[%d] = %v, want %v", n, dst[n], want)
+		}
+	}
+	if dst[0] == 0 || dst[3] == 0 {
+		t.Fatalf("loaded controllers read as idle: %v", dst)
+	}
+}
+
 func TestLinkUtilOnlyRemote(t *testing.T) {
 	_, l := testLoad(t)
 	l.AddAccesses(0, 0, 1e6)
