@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/sim"
+)
+
+// BenchmarkEpoch measures one steady-state iteration of the per-cell
+// engine loop (stream-table refresh, four fixed-point rate/latency
+// couplings, progress and statistics) — the unit of work every
+// experiment cell repeats thousands of times. The workload is pinned in
+// steady state by an effectively infinite baseline, so the number to
+// watch is allocs/op: the stream table and the cached region
+// distributions must keep it at zero.
+//
+// scripts/bench_engine.sh runs this and records ns/op and allocs/op in
+// BENCH_engine.json.
+func BenchmarkEpoch(b *testing.B) {
+	topo := numa.AMD48Scaled(64)
+	prof := testProfile()
+	prof.BaselineSeconds = 1e9 // never finishes: every epoch is steady-state
+	in := &Instance{Prof: prof, Backend: newStub(topo, false), NThreads: 48}
+	cfg := testConfig(topo)
+	r := &runner{cfg: cfg, insts: []*Instance{in}, rand: sim.NewRand(cfg.Seed)}
+	if err := r.setup(); err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up epoch populates the lazily allocated caches and
+	// scratch buffers.
+	r.epoch(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.now = sim.Time(i) * cfg.Epoch
+		r.epoch(i)
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# bench_engine.sh — run the engine hot-loop benchmark and record the
+# perf trajectory in BENCH_engine.json (ns/op, B/op, allocs/op).
+#
+#   scripts/bench_engine.sh            # one pass, rewrites BENCH_engine.json
+#   COUNT=5 scripts/bench_engine.sh    # more -count repetitions (last wins)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench BenchmarkEpoch -benchmem -count "${COUNT:-1}" ./internal/engine/)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+/^BenchmarkEpoch/ {
+	name = $1; iters = $2; ns = $3; bytes = $5; allocs = $7
+}
+END {
+	if (name == "") {
+		print "bench_engine.sh: no BenchmarkEpoch line in output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"%s\",\n", name
+	printf "  \"iterations\": %s,\n", iters
+	printf "  \"ns_per_op\": %s,\n", ns
+	printf "  \"bytes_per_op\": %s,\n", bytes
+	printf "  \"allocs_per_op\": %s\n", allocs
+	printf "}\n"
+}' >BENCH_engine.json
+
+echo "wrote BENCH_engine.json:"
+cat BENCH_engine.json
