@@ -4,9 +4,11 @@
 // Usage:
 //
 //	xnuma list                 # list experiment ids and applications
+//	xnuma policies             # enumerate the NUMA policy registry
 //	xnuma all                  # run every experiment (shares a result cache)
 //	xnuma fig7 table4          # run specific experiments
 //	xnuma run cg.C first-touch # one single-VM run with details
+//	xnuma run cg.C bind:3      # any registered policy works
 //	xnuma topo                 # dump the machine topology
 //
 // Flags:
@@ -23,11 +25,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	xennuma "repro"
 	"repro/internal/exp"
 	"repro/internal/numa"
+	"repro/internal/policy"
 )
 
 func main() {
@@ -48,7 +52,7 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
 usage:
-  xnuma [flags] list | all | topo | <experiment-id>... | run <app> <policy>`)
+  xnuma [flags] list | policies | all | topo | <experiment-id>... | run <app> <policy>`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -101,6 +105,12 @@ usage:
 		for _, a := range xennuma.Apps() {
 			fmt.Fprintln(stdout, "  "+a)
 		}
+		fmt.Fprintln(stdout, "policies (xnuma policies for details):")
+		for _, p := range exp.RegisteredXenPolicies() {
+			fmt.Fprintln(stdout, "  "+p)
+		}
+	case "policies":
+		printPolicies(stdout)
 	case "all":
 		for _, id := range exp.IDs() {
 			report(id, exp.ByID(id))
@@ -127,6 +137,38 @@ usage:
 		}
 	}
 	return 0
+}
+
+// printPolicies renders the policy registry: one row per descriptor
+// with its metadata, so users do not have to read ParsePolicy's source
+// to learn what is runnable.
+func printPolicies(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-16s %-6s %-22s %-9s %-6s %s\n",
+		"NAME", "ALIASES", "ABBREV", "BOOT", "CARREFOUR", "NATIVE", "FAULT BEHAVIOR")
+	for _, d := range policy.List() {
+		name := d.Name
+		if d.Parameterized {
+			name += ":<arg>"
+		}
+		boot := "lazy (faults in)"
+		switch {
+		case d.RuntimeOnly:
+			boot = "round-4K, then switch"
+		case d.BootOnly:
+			boot = "eager (boot-only)"
+		case d.Boot != nil:
+			boot = "eager"
+		}
+		yn := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		fmt.Fprintf(w, "%-14s %-16s %-6s %-22s %-9s %-6s %s\n",
+			name, strings.Join(d.Aliases, ","), d.Abbrev, boot,
+			yn(d.Carrefour), yn(d.Native != nil), d.Fault)
+	}
 }
 
 func runOne(s *exp.Suite, stdout io.Writer, app, pol string) error {

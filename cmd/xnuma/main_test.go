@@ -24,6 +24,28 @@ func TestList(t *testing.T) {
 	}
 }
 
+func TestPolicies(t *testing.T) {
+	code, out, _ := runCLI(t, "policies")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"round-1G", "first-touch", "interleave", "bind:<arg>", "least-loaded", "R4K", "lazy", "eager"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("policies output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNewPolicy(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "run", "swaptions", "least-loaded")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "backend:      xen/least-loaded") {
+		t.Errorf("run output missing backend line:\n%s", out)
+	}
+}
+
 func TestNoArgsUsage(t *testing.T) {
 	code, _, errb := runCLI(t)
 	if code != 2 {

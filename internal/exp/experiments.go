@@ -2,31 +2,50 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/guest"
 	"repro/internal/iosim"
 	"repro/internal/ipi"
 	"repro/internal/metrics"
 	"repro/internal/numa"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
-// Abbrev maps policy names to the paper's Table 4 shorthand.
+// Abbrev maps policy names to the paper's Table 4 shorthand through the
+// policy registry ("round-4k/carrefour" → "R4K/C", "bind:3" → "B3");
+// unknown names pass through unchanged.
 func Abbrev(pol string) string {
-	switch pol {
-	case "first-touch":
-		return "FT"
-	case "first-touch/carrefour":
-		return "FT/C"
-	case "round-4k":
-		return "R4K"
-	case "round-4k/carrefour":
-		return "R4K/C"
-	case "round-1g":
-		return "R1G"
-	default:
+	cfg, err := policy.Parse(pol)
+	if err != nil {
 		return pol
 	}
+	a := policy.Abbrev(cfg.Static)
+	if cfg.Carrefour {
+		a += "/C"
+	}
+	return a
+}
+
+// RegisteredXenPolicies enumerates every registered policy as
+// suite-ready names (lowercase, parameterized kinds instantiated with
+// their default argument), each followed by its "/carrefour" variant
+// when Carrefour may stack and the kind is runtime-selectable. It is
+// the open-registry superset of XenPolicies for policy sweeps.
+func RegisteredXenPolicies() []string {
+	var out []string
+	for _, d := range policy.List() {
+		name := strings.ToLower(d.Name)
+		if d.Parameterized {
+			name += ":" + d.DefaultArg
+		}
+		out = append(out, name)
+		if d.Carrefour && !d.BootOnly {
+			out = append(out, name+"/carrefour")
+		}
+	}
+	return out
 }
 
 // Fig1 reports the overhead of stock Xen (round-1G, dom0 I/O, no MCS)

@@ -28,6 +28,10 @@ type Backend struct {
 	// per Place call).
 	regionVPN map[*engine.Region][]pt.VPN
 	cfg       policy.Config
+	// contiguous caches the policy descriptor's huge-region flag: IO()
+	// sits on the engine's per-epoch path and must not pay a registry
+	// lookup (nor its lowercasing allocation) per call.
+	contiguous bool
 }
 
 // NewBackend boots a guest on dom and selects the policy cfg through the
@@ -39,16 +43,22 @@ type Backend struct {
 // the whole round-1G regions — which is why small-footprint applications
 // end up concentrated on one node under Xen's default policy.
 func NewBackend(hv *xen.Hypervisor, dom *xen.Domain, qcfg QueueConfig, cfg policy.Config) (*Backend, sim.Time, error) {
+	desc, _, canon, err := policy.Resolve(cfg.Static)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg.Static = canon
 	kernelPages := uint64(1) << uint(hv.Cfg.HugeOrder)
 	if kernelPages >= dom.PhysPages() {
 		kernelPages = dom.PhysPages() / 4
 	}
 	b := &Backend{
-		HV:        hv,
-		Dom:       dom,
-		OS:        NewOS(dom, kernelPages, qcfg),
-		regionVPN: make(map[*engine.Region][]pt.VPN),
-		cfg:       cfg,
+		HV:         hv,
+		Dom:        dom,
+		OS:         NewOS(dom, kernelPages, qcfg),
+		regionVPN:  make(map[*engine.Region][]pt.VPN),
+		cfg:        cfg,
+		contiguous: desc.Contiguous,
 	}
 	b.proc = b.OS.NewProcess(1)
 	cost, err := b.OS.SetPolicy(cfg)
@@ -134,14 +144,15 @@ func (b *Backend) ChurnOverhead(releasesPerSec float64, threads int) float64 {
 // IO reports the DMA path: passthrough when the IOMMU is usable with the
 // current policy, the dom0 split driver otherwise. Xen's hypervisor page
 // table scatters guest-contiguous DMA buffers across nodes except under
-// round-1G, whose huge regions keep a buffer on one node.
+// policies placing in contiguous huge regions (round-1G), which keep a
+// buffer on one node.
 func (b *Backend) IO() (iosim.Path, iosim.BufferPlacement) {
 	path := iosim.PathDom0
 	if b.Dom.Passthrough() {
 		path = iosim.PathPassthrough
 	}
 	placement := iosim.BufferScattered
-	if b.cfg.Static == policy.Round1G {
+	if b.contiguous {
 		placement = iosim.BufferSingleNode
 	}
 	return path, placement

@@ -199,8 +199,9 @@ type OS struct {
 	Dom   *xen.Domain
 	Phys  *PhysAlloc
 	Queue *PageQueue
-	// queueActive is set while the first-touch policy is selected: only
-	// then does the guest notify the hypervisor of page traffic.
+	// queueActive is set while a page-queue-consuming policy (e.g.
+	// first-touch) is selected: only then does the guest notify the
+	// hypervisor of page traffic.
 	queueActive bool
 }
 
@@ -214,17 +215,18 @@ func NewOS(dom *xen.Domain, kernelPages uint64, qcfg QueueConfig) *OS {
 	}
 }
 
-// SetPolicy performs the policy-selection hypercall. Switching to
-// first-touch additionally primes the hypervisor by flushing the whole
-// guest free list through the page queue, so that every free page's
-// hypervisor entry is invalidated and the next touch faults (§4.2.2).
+// SetPolicy performs the policy-selection hypercall. Switching to a
+// page-queue-consuming policy (first-touch) additionally primes the
+// hypervisor by flushing the whole guest free list through the page
+// queue, so that every free page's hypervisor entry is invalidated and
+// the next touch faults (§4.2.2).
 func (g *OS) SetPolicy(cfg policy.Config) (sim.Time, error) {
 	cost, err := g.Dom.HypercallSetPolicy(cfg)
 	if err != nil {
 		return cost, err
 	}
 	wasActive := g.queueActive
-	g.queueActive = cfg.Static == policy.FirstTouch
+	g.queueActive = policy.UsesPageQueue(cfg.Static)
 	if g.queueActive && !wasActive {
 		for _, p := range g.Phys.FreePages() {
 			cost += g.Queue.Add(policy.OpRelease, p)

@@ -1,9 +1,11 @@
 // Package linux models the native baseline: the same workloads running
-// directly on the machine under Linux's own NUMA policies (first-touch,
-// round-4K, each optionally with Carrefour). There is no hypervisor
-// layer: "physical" pages are machine frames, placement happens at guest
-// fault time exactly as Linux's lazy allocator does (§3.1–3.2), and
-// migrations move frames directly.
+// directly on the machine under Linux's own NUMA policies (any
+// registered policy with a native placer — first-touch, round-4K,
+// interleave, bind:<node>, least-loaded — each optionally with
+// Carrefour). There is no hypervisor layer: "physical" pages are
+// machine frames, placement happens at guest fault time exactly as
+// Linux's lazy allocator does (§3.1–3.2), and migrations move frames
+// directly.
 package linux
 
 import (
@@ -25,19 +27,32 @@ type Backend struct {
 	Topo  *numa.Topology
 	Alloc *mem.Allocator
 	cfg   policy.Config
-	rr    int
+	// placer is the policy's registered native placement hook; rr is
+	// the backend's own fallback rotor for full banks.
+	placer policy.NativePlacer
+	rr     int
 	// Threads per node assignment mirrors pinning threads to CPUs in
 	// machine order.
 	Migrated uint64
 }
 
-// New builds a native backend on a dedicated machine. Only first-touch
-// and round-4K are valid static policies: Linux has no round-1G.
+// New builds a native backend on a dedicated machine. The static policy
+// must have a registered native placer (round-1G, a hypervisor boot
+// layout, has none) and any parameter must fit the machine (a bind node
+// out of range is rejected here), so an unsupported configuration fails
+// at construction rather than mid-run.
 func New(topo *numa.Topology, cfg policy.Config) (*Backend, error) {
-	if cfg.Static == policy.Round1G {
-		return nil, fmt.Errorf("linux: Linux has no round-1G policy")
+	if err := policy.CheckConfig(cfg); err != nil {
+		return nil, fmt.Errorf("linux: %w", err)
 	}
-	return &Backend{Topo: topo, Alloc: mem.NewAllocator(topo), cfg: cfg}, nil
+	if canon, err := policy.Canonical(cfg.Static); err == nil {
+		cfg.Static = canon
+	}
+	placer, err := policy.NewNative(cfg.Static, topo.NumNodes())
+	if err != nil {
+		return nil, fmt.Errorf("linux: %w", err)
+	}
+	return &Backend{Topo: topo, Alloc: mem.NewAllocator(topo), cfg: cfg, placer: placer}, nil
 }
 
 // Name reports the platform and policy.
@@ -46,22 +61,15 @@ func (b *Backend) Name() string { return "linux/" + b.cfg.String() }
 // Policy returns the active policy configuration.
 func (b *Backend) Policy() policy.Config { return b.cfg }
 
-// Place allocates n frames according to the static policy: on the
-// toucher's node for first-touch (with round-robin fallback when the
-// bank is full), round-robin across all nodes for round-4K.
+// Place allocates n frames, asking the policy's native placer for each
+// page's preferred node (the toucher's node for first-touch, round-robin
+// for round-4K/interleave, …) and falling back round-robin when the
+// bank is full.
 func (b *Backend) Place(r *engine.Region, n int, toucher numa.NodeID) (sim.Time, error) {
 	var total sim.Time
+	free := b.Alloc.FreeBytes // hoisted: one method-value allocation per call, not per page
 	for i := 0; i < n; i++ {
-		var node numa.NodeID
-		switch b.cfg.Static {
-		case policy.FirstTouch:
-			node = toucher
-		case policy.Round4K:
-			node = numa.NodeID(b.rr % b.Topo.NumNodes())
-			b.rr++
-		default:
-			return total, fmt.Errorf("linux: unsupported policy %v", b.cfg.Static)
-		}
+		node := b.placer.PlaceNode(toucher, free)
 		mfn, err := b.allocNear(node)
 		if err != nil {
 			return total, err

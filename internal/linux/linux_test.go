@@ -16,6 +16,102 @@ func TestRound1GRejected(t *testing.T) {
 	}
 }
 
+// TestUnsupportedConfigsFailAtConstruction: bad policies surface from
+// New, not from the first Place mid-run.
+func TestUnsupportedConfigsFailAtConstruction(t *testing.T) {
+	topo := numa.SmallMachine(4, 2, 64<<20)
+	for _, kind := range []policy.Kind{"nosuch", "bind:9", "bind:x", ""} {
+		if _, err := New(topo, policy.Config{Static: kind}); err == nil {
+			t.Errorf("New accepted %q", kind)
+		}
+	}
+	if _, err := New(topo, policy.Config{Static: policy.Bind(1), Carrefour: true}); err == nil {
+		t.Error("New stacked carrefour on bind")
+	}
+}
+
+func TestInterleaveSpreads(t *testing.T) {
+	topo := numa.SmallMachine(4, 2, 64<<20)
+	b, err := New(topo, policy.Config{Static: policy.Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.NewRegion("r", engine.RegionDist, 0, 4)
+	if _, err := b.Place(r, 400, 0); err != nil {
+		t.Fatal(err)
+	}
+	for n, share := range r.Dist() {
+		if share != 0.25 {
+			t.Fatalf("node %d share = %v, want exactly 0.25", n, share)
+		}
+	}
+}
+
+func TestBindPlacesOnBoundNode(t *testing.T) {
+	topo := numa.SmallMachine(4, 2, 64<<20)
+	b, err := New(topo, policy.Config{Static: policy.Bind(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.NewRegion("r", engine.RegionPrivate, 0, 4)
+	if _, err := b.Place(r, 100, 0); err != nil { // toucher ignored
+		t.Fatal(err)
+	}
+	if d := r.Dist(); d[2] != 1 {
+		t.Fatalf("bind:2 distribution = %v, want all on node 2", d)
+	}
+}
+
+// TestBindFallsBackWhenFull: the preferred node fills and the overflow
+// lands elsewhere instead of failing (preferred-node semantics).
+func TestBindFallsBackWhenFull(t *testing.T) {
+	topo := numa.SmallMachine(2, 1, 1<<20) // 256 frames per node
+	b, err := New(topo, policy.Config{Static: policy.Bind(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.NewRegion("r", engine.RegionPrivate, 0, 2)
+	if _, err := b.Place(r, 400, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := r.Dist()
+	if d[0] < 0.5 || d[1] == 0 {
+		t.Fatalf("bind fallback distribution wrong: %v", d)
+	}
+}
+
+// TestLeastLoadedBalancesFreeMemory: after skewing node 0 with a
+// dedicated fill, least-loaded pours new pages into the other nodes
+// first.
+func TestLeastLoadedBalancesFreeMemory(t *testing.T) {
+	topo := numa.SmallMachine(4, 2, 1<<20)
+	b, err := New(topo, policy.Config{Static: policy.LeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := engine.NewRegion("skew", engine.RegionPrivate, 0, 4)
+	for i := 0; i < 64; i++ {
+		mfn, err := b.Alloc.Alloc(0, mem.Order4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skew.AddPage(mem.PFN(mfn), 0)
+	}
+	r := engine.NewRegion("r", engine.RegionDist, 0, 4)
+	if _, err := b.Place(r, 96, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := r.Dist()
+	if d[0] != 0 {
+		t.Fatalf("least-loaded used the fullest node: %v", d)
+	}
+	for n := 1; n < 4; n++ {
+		if d[n] == 0 {
+			t.Fatalf("least-loaded left node %d empty: %v", n, d)
+		}
+	}
+}
+
 func TestFirstTouchPlacesOnToucher(t *testing.T) {
 	topo := numa.SmallMachine(4, 2, 64<<20)
 	b, err := New(topo, policy.Config{Static: policy.FirstTouch})

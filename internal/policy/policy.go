@@ -1,8 +1,11 @@
 // Package policy defines the paper's contribution: the interface that
-// lets NUMA placement policies live inside the hypervisor (§4), and the
-// three static policies built on it (first-touch, round-4K, round-1G).
-// The dynamic Carrefour policy is layered on the same interface by
-// package carrefour.
+// lets NUMA placement policies live inside the hypervisor (§4), and an
+// open registry of policies built on it. The three static policies the
+// paper evaluates (first-touch, round-4K, round-1G) are registered here;
+// further policies (interleave, bind:<node>, least-loaded, or any
+// out-of-tree Descriptor) plug into the same registry without touching
+// the hypervisor, guest or native layers. The dynamic Carrefour policy
+// is layered on the same interface by package carrefour.
 //
 // The interface has two sides, mirroring Figure 3 of the paper:
 //
@@ -14,47 +17,62 @@
 //     (HypercallSetPolicy) and a hypercall carrying the batched queue of
 //     recently allocated and released physical pages
 //     (HypercallPageQueue, §4.2.3–4.2.4).
+//
+// A third, eager side — the BootPlacer — runs at domain build time and
+// populates the physical address space before the first instruction
+// (round-4K and round-1G layouts); policies without one boot lazily:
+// every entry starts invalid and the first access faults into the
+// runtime policy.
 package policy
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/mem"
 	"repro/internal/numa"
 	"repro/internal/pt"
 )
 
-// Kind names a static placement policy.
-type Kind int
+// Kind names a registered placement policy. It is an open string, not a
+// closed enum: the canonical spelling of a registered Descriptor,
+// optionally carrying a parameter after a colon ("bind:3"). Lookups are
+// case-insensitive; the canonical casing below is what String() and
+// reports show.
+type Kind string
 
+// Kinds of the built-in policies (registered in builtin.go).
 const (
 	// Round1G is Xen's default: memory allocated eagerly at domain
 	// creation in 1 GiB regions round-robin across the home nodes (§3.3).
-	Round1G Kind = iota
+	Round1G Kind = "round-1G"
 	// Round4K statically maps each 4 KiB physical page round-robin
 	// across the home nodes at domain creation (§3.2).
-	Round4K
+	Round4K Kind = "round-4K"
 	// FirstTouch maps a physical page on the node of the vCPU that first
 	// accesses it, using hypervisor page faults plus the page-queue
 	// hypercall to learn about guest-side page reuse (§3.1, §4.2).
-	FirstTouch
+	FirstTouch Kind = "first-touch"
+	// Interleave is round-4K's round-robin placement without the eager
+	// boot pass: the domain boots with every entry invalid and each
+	// first access faults, allocating round-robin across the home nodes.
+	Interleave Kind = "interleave"
+	// LeastLoaded allocates each faulted page on the home node with the
+	// most free machine memory at fault time.
+	LeastLoaded Kind = "least-loaded"
 )
 
-func (k Kind) String() string {
-	switch k {
-	case Round1G:
-		return "round-1G"
-	case Round4K:
-		return "round-4K"
-	case FirstTouch:
-		return "first-touch"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
+// Bind returns the kind of the preferred-node policy for node: every
+// faulted page is allocated on that node, falling back like first-touch
+// when its bank is full.
+func Bind(node numa.NodeID) Kind {
+	return Kind("bind:" + strconv.Itoa(int(node)))
 }
 
+func (k Kind) String() string { return string(k) }
+
 // Config selects a static policy and optionally stacks the dynamic
-// Carrefour policy on top, matching the four combinations the paper
+// Carrefour policy on top, matching the combinations the paper
 // evaluates.
 type Config struct {
 	Static    Kind
@@ -119,6 +137,9 @@ type DomainOps interface {
 	FreeFrame(mfn mem.MFN)
 	// NodeOfFrame maps a machine frame to its NUMA node.
 	NodeOfFrame(mfn mem.MFN) numa.NodeID
+	// NodeFreeBytes reports the free machine memory on node, for
+	// load-aware policies such as least-loaded.
+	NodeFreeBytes(node numa.NodeID) int64
 	// MapPage installs pfn→mfn and notifies placement observers.
 	// This is the first function of the internal interface.
 	MapPage(pfn mem.PFN, mfn mem.MFN)
@@ -132,9 +153,42 @@ type DomainOps interface {
 	InvalidatePage(pfn mem.PFN)
 }
 
+// BootOps extends DomainOps with what eager boot placement needs: the
+// size of the physical space and block-grained (huge-region) allocation.
+type BootOps interface {
+	DomainOps
+	// PhysPages is the size of the physical address space in pages.
+	PhysPages() uint64
+	// RegionOrders returns the machine's huge ("1 GiB") and mid
+	// ("2 MiB") region buddy orders, pre-scaled for the machine.
+	RegionOrders() (huge, mid int)
+	// AllocRegion allocates one 2^order block on node, without
+	// fallback.
+	AllocRegion(node numa.NodeID, order int) (mem.MFN, error)
+	// MapRegion maps the 2^order frames of block phys-contiguously
+	// starting at base, recording block ownership for teardown.
+	MapRegion(base mem.PFN, block mem.MFN, order int)
+}
+
+// BootPlacer eagerly populates a domain's physical address space at
+// build time, before the guest runs. A nil BootPlacer means the policy
+// boots lazily: every hypervisor entry starts invalid, the first access
+// to each page faults into the runtime Policy, and — because the IOMMU
+// cannot resolve invalid entries (§4.4.1) — PCI passthrough is disabled
+// for the domain.
+type BootPlacer func(b BootOps) error
+
+// NativePlacer is the native-Linux side of a policy: it picks the node
+// for each page faulted by the native lazy allocator. free reports a
+// node's free memory (for load-aware placers); the backend performs the
+// allocation with Linux's round-robin fallback.
+type NativePlacer interface {
+	PlaceNode(toucher numa.NodeID, free func(numa.NodeID) int64) numa.NodeID
+}
+
 // Policy is a hypervisor-resident NUMA placement policy for one domain.
 type Policy interface {
-	// Kind reports the static policy this implements.
+	// Kind reports the registered kind this implements.
 	Kind() Kind
 	// HandleFault resolves a hypervisor page fault on pfn caused by a
 	// vCPU running on accessor. It must leave the entry valid.
@@ -146,87 +200,59 @@ type Policy interface {
 	OnPageQueue(d DomainOps, ops []PageOp) int
 }
 
-// New returns the policy implementation for kind.
-func New(kind Kind) Policy {
-	switch kind {
-	case Round1G:
-		return &roundStatic{kind: Round1G}
-	case Round4K:
-		return &roundStatic{kind: Round4K}
-	case FirstTouch:
-		return &firstTouch{}
-	default:
-		panic(fmt.Sprintf("policy: unknown kind %v", kind))
-	}
-}
-
-// roundStatic covers round-4K and round-1G: placement happens eagerly at
-// domain creation (by the domain builder), so at run time the policy only
-// needs to resolve stray faults — pages whose entries were invalidated by
-// an earlier first-touch phase — which it does round-robin, and to ignore
-// page queues.
-type roundStatic struct {
-	kind Kind
-	next int
-}
-
-func (p *roundStatic) Kind() Kind { return p.kind }
-
-func (p *roundStatic) HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID, kind pt.FaultKind) {
-	if kind == pt.FaultWriteProtected {
-		// Migration in flight finished; just unprotect.
-		d.Table().Unprotect(pfn)
-		return
-	}
-	homes := d.HomeNodes()
-	node := homes[p.next%len(homes)]
-	p.next++
-	mfn, err := d.AllocFrameOn(node)
+// New builds the runtime policy for kind from the default registry.
+// nodes is the machine's node count, used to range-check parameterized
+// kinds ("bind:9" on an 8-node machine); pass nodes <= 0 when the
+// machine is not known yet (syntax checks only).
+func New(kind Kind, nodes int) (Policy, error) {
+	desc, arg, err := Describe(kind)
 	if err != nil {
-		panic(fmt.Sprintf("policy: %v fault allocation failed: %v", p.kind, err))
+		return nil, err
 	}
-	d.MapPage(pfn, mfn)
+	return desc.New(arg, nodes)
 }
 
-func (p *roundStatic) OnPageQueue(DomainOps, []PageOp) int { return 0 }
-
-// firstTouch implements §4.2: released pages have their hypervisor
-// page-table entry invalidated so the next access faults, and the fault
-// allocates the backing frame on the accessor's node.
-type firstTouch struct{}
-
-func (p *firstTouch) Kind() Kind { return FirstTouch }
-
-func (p *firstTouch) HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID, kind pt.FaultKind) {
-	if kind == pt.FaultWriteProtected {
-		d.Table().Unprotect(pfn)
-		return
-	}
-	mfn, err := d.AllocFrameOn(accessor)
+// NewNative builds the native-Linux placer for kind, or an error when
+// the policy has no native equivalent (round-1G).
+func NewNative(kind Kind, nodes int) (NativePlacer, error) {
+	desc, arg, err := Describe(kind)
 	if err != nil {
-		panic(fmt.Sprintf("policy: first-touch fault allocation failed: %v", err))
+		return nil, err
 	}
-	d.MapPage(pfn, mfn)
+	if desc.Native == nil {
+		return nil, fmt.Errorf("policy: Linux has no %s policy", kind)
+	}
+	return desc.Native(arg, nodes)
 }
 
-// OnPageQueue implements the reconciliation protocol of §4.2.4: scan the
-// queue from the most recent operation, keep the first (most recent)
-// operation seen for each page, invalidate pages whose latest operation
-// is a release, and leave reallocated pages where they are (copying their
-// content would be too costly in the common case).
-func (p *firstTouch) OnPageQueue(d DomainOps, ops []PageOp) int {
-	seen := make(map[mem.PFN]struct{}, len(ops))
-	invalidated := 0
-	for i := len(ops) - 1; i >= 0; i-- {
-		op := ops[i]
-		if _, dup := seen[op.PFN]; dup {
-			continue
-		}
-		seen[op.PFN] = struct{}{}
-		if op.Kind == OpRelease {
-			d.InvalidatePage(op.PFN)
-			invalidated++
-		}
+// BootKind returns the boot layout used when kind is selected at domain
+// build time: the kind itself when it may be booted, or Round4K for
+// runtime-only policies (the paper boots first-touch domains round-4K
+// and switches through the hypercall, §4.2.1).
+func BootKind(kind Kind) (Kind, error) {
+	desc, _, err := Describe(kind)
+	if err != nil {
+		return "", err
 	}
-	return invalidated
+	if desc.RuntimeOnly {
+		return Round4K, nil
+	}
+	return kind, nil
+}
+
+// UsesPageQueue reports whether kind's policy consumes the guest page
+// queue (false for unknown kinds).
+func UsesPageQueue(kind Kind) bool {
+	desc, _, err := Describe(kind)
+	return err == nil && desc.UsesPageQueue
+}
+
+// Abbrev returns the paper's Table-4 shorthand for kind ("round-4K" →
+// "R4K", "bind:3" → "B3"), or the kind itself when unknown.
+func Abbrev(kind Kind) string {
+	desc, arg, err := Describe(kind)
+	if err != nil {
+		return string(kind)
+	}
+	return desc.Abbrev + arg
 }

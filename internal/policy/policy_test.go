@@ -17,6 +17,7 @@ type fakeDomain struct {
 	table    *pt.HypervisorTable
 	nextMFN  mem.MFN
 	nodeOf   map[mem.MFN]numa.NodeID
+	free     map[numa.NodeID]int64
 	freed    []mem.MFN
 	migrated int
 }
@@ -26,12 +27,14 @@ func newFakeDomain(homes ...numa.NodeID) *fakeDomain {
 		homes:  homes,
 		table:  pt.NewHypervisorTable(),
 		nodeOf: make(map[mem.MFN]numa.NodeID),
+		free:   make(map[numa.NodeID]int64),
 	}
 }
 
-func (d *fakeDomain) HomeNodes() []numa.NodeID   { return d.homes }
-func (d *fakeDomain) Table() *pt.HypervisorTable { return d.table }
-func (d *fakeDomain) FreeFrame(m mem.MFN)        { d.freed = append(d.freed, m) }
+func (d *fakeDomain) HomeNodes() []numa.NodeID          { return d.homes }
+func (d *fakeDomain) Table() *pt.HypervisorTable        { return d.table }
+func (d *fakeDomain) FreeFrame(m mem.MFN)               { d.freed = append(d.freed, m) }
+func (d *fakeDomain) NodeFreeBytes(n numa.NodeID) int64 { return d.free[n] }
 func (d *fakeDomain) NodeOfFrame(m mem.MFN) numa.NodeID {
 	n, ok := d.nodeOf[m]
 	if !ok {
@@ -44,7 +47,19 @@ func (d *fakeDomain) AllocFrameOn(n numa.NodeID) (mem.MFN, error) {
 	m := d.nextMFN
 	d.nextMFN++
 	d.nodeOf[m] = n
+	d.free[n] -= mem.PageSize
 	return m, nil
+}
+
+// mustNew builds a policy through the registry, failing the test on a
+// bad kind.
+func mustNew(t *testing.T, k Kind) Policy {
+	t.Helper()
+	p, err := New(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func (d *fakeDomain) MapPage(p mem.PFN, m mem.MFN) { d.table.Map(p, m) }
@@ -76,18 +91,18 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnUnknownKind(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New(99) did not panic")
-		}
-	}()
-	New(Kind(99))
+func TestNewRejectsUnknownKind(t *testing.T) {
+	if _, err := New(Kind("numa-magic"), 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := New(Kind(""), 0); err == nil {
+		t.Fatal("empty kind accepted")
+	}
 }
 
 func TestFirstTouchPlacesOnAccessor(t *testing.T) {
 	d := newFakeDomain(0, 1, 2, 3)
-	p := New(FirstTouch)
+	p := mustNew(t, FirstTouch)
 	p.HandleFault(d, 42, 3, pt.FaultNotPresent)
 	e := d.table.Lookup(42)
 	if !e.Valid || d.NodeOfFrame(e.MFN) != 3 {
@@ -97,7 +112,7 @@ func TestFirstTouchPlacesOnAccessor(t *testing.T) {
 
 func TestRoundStaticFaultRoundRobins(t *testing.T) {
 	d := newFakeDomain(0, 1)
-	p := New(Round4K)
+	p := mustNew(t, Round4K)
 	nodes := make(map[numa.NodeID]int)
 	for i := mem.PFN(0); i < 10; i++ {
 		p.HandleFault(d, i, 0, pt.FaultNotPresent)
@@ -110,9 +125,9 @@ func TestRoundStaticFaultRoundRobins(t *testing.T) {
 }
 
 func TestWriteProtectFaultUnprotects(t *testing.T) {
-	for _, kind := range []Kind{Round4K, FirstTouch} {
+	for _, kind := range []Kind{Round4K, FirstTouch, Interleave, LeastLoaded, Bind(0)} {
 		d := newFakeDomain(0)
-		p := New(kind)
+		p := mustNew(t, kind)
 		m, _ := d.AllocFrameOn(0)
 		d.MapPage(7, m)
 		d.table.WriteProtect(7)
@@ -125,7 +140,7 @@ func TestWriteProtectFaultUnprotects(t *testing.T) {
 
 func TestPageQueueReleaseInvalidates(t *testing.T) {
 	d := newFakeDomain(0)
-	p := New(FirstTouch)
+	p := mustNew(t, FirstTouch)
 	m, _ := d.AllocFrameOn(0)
 	d.MapPage(1, m)
 	n := p.OnPageQueue(d, []PageOp{{Kind: OpRelease, PFN: 1}})
@@ -142,7 +157,7 @@ func TestPageQueueReleaseInvalidates(t *testing.T) {
 
 func TestPageQueueScanIsNewestFirst(t *testing.T) {
 	d := newFakeDomain(0)
-	p := New(FirstTouch)
+	p := mustNew(t, FirstTouch)
 	m, _ := d.AllocFrameOn(0)
 	d.MapPage(1, m)
 	// Oldest→newest: release, alloc. The page was reallocated after the
@@ -166,7 +181,7 @@ func TestPageQueueScanIsNewestFirst(t *testing.T) {
 
 func TestPageQueueDuplicateReleases(t *testing.T) {
 	d := newFakeDomain(0)
-	p := New(FirstTouch)
+	p := mustNew(t, FirstTouch)
 	m, _ := d.AllocFrameOn(0)
 	d.MapPage(3, m)
 	// The same page released twice in one batch must only be processed
@@ -185,8 +200,8 @@ func TestPageQueueDuplicateReleases(t *testing.T) {
 
 func TestRoundStaticIgnoresPageQueue(t *testing.T) {
 	d := newFakeDomain(0)
-	for _, kind := range []Kind{Round4K, Round1G} {
-		p := New(kind)
+	for _, kind := range []Kind{Round4K, Round1G, Interleave, LeastLoaded, Bind(0)} {
+		p := mustNew(t, kind)
 		m, _ := d.AllocFrameOn(0)
 		d.MapPage(9, m)
 		if n := p.OnPageQueue(d, []PageOp{{Kind: OpRelease, PFN: 9}}); n != 0 {
@@ -204,7 +219,7 @@ func TestRoundStaticIgnoresPageQueue(t *testing.T) {
 func TestQuickPageQueueProtocol(t *testing.T) {
 	check := func(raw []uint8) bool {
 		d := newFakeDomain(0)
-		p := New(FirstTouch)
+		p := mustNew(t, FirstTouch)
 		const pages = 8
 		for i := mem.PFN(0); i < pages; i++ {
 			m, _ := d.AllocFrameOn(0)

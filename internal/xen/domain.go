@@ -31,8 +31,12 @@ type Domain struct {
 	physPages uint64
 
 	bootKind policy.Kind
-	cfg      policy.Config
-	pol      policy.Policy
+	// bootPlacer is the boot layout's eager placement hook (nil for
+	// lazily booted domains: every entry starts invalid and the first
+	// access faults into the runtime policy).
+	bootPlacer policy.BootPlacer
+	cfg        policy.Config
+	pol        policy.Policy
 	// CarrefourHook, when non-nil, receives page-queue batches so the
 	// dynamic policy can track page liveness. Set by package carrefour.
 	CarrefourHook func(ops []policy.PageOp)
@@ -84,7 +88,7 @@ type frameAlloc struct {
 	order int
 }
 
-func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID) *Domain {
+func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID, boot policy.BootPlacer, pol policy.Policy) *Domain {
 	d := &Domain{
 		ID:         id,
 		Name:       spec.Name,
@@ -92,7 +96,9 @@ func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID) *Dom
 		table:      pt.NewHypervisorTable(),
 		physPages:  uint64(spec.MemBytes) / mem.PageSize,
 		bootKind:   spec.Boot,
+		bootPlacer: boot,
 		cfg:        policy.Config{Static: spec.Boot},
+		pol:        pol,
 		ownedPages: make(map[mem.PFN]mem.MFN),
 		pinned:     make(map[mem.PFN]int),
 	}
@@ -107,100 +113,23 @@ func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID) *Dom
 			d.homes = append(d.homes, n)
 		}
 	}
-	d.pol = policy.New(spec.Boot)
-	d.passthrough = h.Cfg.IOMMU
+	// A lazily booted domain starts with every entry invalid; the IOMMU
+	// cannot resolve invalid entries (§4.4.1), so passthrough is off
+	// from the start.
+	d.passthrough = h.Cfg.IOMMU && boot != nil
 	d.table.SetFaultHandler(func(pfn mem.PFN, write bool, kind pt.FaultKind) {
 		d.pol.HandleFault(d, pfn, d.accessor, kind)
 	})
 	return d
 }
 
-// populate eagerly builds the physical address space per the boot layout.
+// populate eagerly builds the physical address space through the boot
+// layout's placement hook; lazily booted domains place nothing here.
 func (d *Domain) populate() error {
-	switch d.bootKind {
-	case policy.Round4K:
-		return d.populateRound4K()
-	case policy.Round1G:
-		return d.populateRound1G()
-	default:
-		return fmt.Errorf("invalid boot layout %v", d.bootKind)
-	}
-}
-
-// populateRound4K maps every physical page round-robin on the home
-// nodes. MapPage records per-page ownership, so first-touch can later
-// invalidate and free any of these frames individually.
-func (d *Domain) populateRound4K() error {
-	for p := uint64(0); p < d.physPages; p++ {
-		node := d.homes[int(p)%len(d.homes)]
-		mfn, err := d.AllocFrameOn(node)
-		if err != nil {
-			return err
-		}
-		d.MapPage(mem.PFN(p), mfn)
-	}
-	return nil
-}
-
-// populateRound1G implements §3.3: allocate by huge regions round-robin
-// from the home nodes; the first and last "GiB" of the physical space are
-// fragmented (BIOS and I/O holes) and are therefore allocated in mid and
-// 4 KiB regions instead.
-func (d *Domain) populateRound1G() error {
-	hugeFrames := mem.FramesOf(d.hv.Cfg.HugeOrder)
-	midFrames := mem.FramesOf(d.hv.Cfg.MidOrder)
-	rr := 0
-	nextHome := func() numa.NodeID {
-		n := d.homes[rr%len(d.homes)]
-		rr++
-		return n
-	}
-	// allocRegion allocates 2^order frames on the next home node (with
-	// fallback to the following homes) and maps them phys-contiguously
-	// starting at base.
-	allocRegion := func(base uint64, order int) error {
-		var mfn mem.MFN
-		var err error
-		for try := 0; try < len(d.homes); try++ {
-			node := nextHome()
-			mfn, err = d.hv.Alloc.Alloc(node, order)
-			if err == nil {
-				break
-			}
-		}
-		if err != nil {
-			return err
-		}
-		d.frames = append(d.frames, frameAlloc{mfn: mfn, order: order})
-		for i := uint64(0); i < mem.FramesOf(order); i++ {
-			d.table.Map(mem.PFN(base+i), mfn+mem.MFN(i))
-		}
+	if d.bootPlacer == nil {
 		return nil
 	}
-	p := uint64(0)
-	for p < d.physPages {
-		remaining := d.physPages - p
-		inFirstGiB := p < hugeFrames
-		inLastGiB := d.physPages > hugeFrames && p >= d.physPages-hugeFrames
-		switch {
-		case !inFirstGiB && !inLastGiB && remaining >= hugeFrames:
-			if err := allocRegion(p, d.hv.Cfg.HugeOrder); err != nil {
-				return err
-			}
-			p += hugeFrames
-		case remaining >= midFrames:
-			if err := allocRegion(p, d.hv.Cfg.MidOrder); err != nil {
-				return err
-			}
-			p += midFrames
-		default:
-			if err := allocRegion(p, mem.Order4K); err != nil {
-				return err
-			}
-			p++
-		}
-	}
-	return nil
+	return d.bootPlacer(d)
 }
 
 // releaseFrames returns all machine memory to the allocator.
@@ -254,6 +183,32 @@ func (d *Domain) FreeFrame(mfn mem.MFN) { d.hv.Alloc.Free(mfn, mem.Order4K) }
 
 // NodeOfFrame maps a frame to its node.
 func (d *Domain) NodeOfFrame(mfn mem.MFN) numa.NodeID { return d.hv.Alloc.NodeOf(mfn) }
+
+// NodeFreeBytes reports the free machine memory on node, for
+// load-aware policies.
+func (d *Domain) NodeFreeBytes(node numa.NodeID) int64 { return d.hv.Alloc.FreeBytes(node) }
+
+// --- policy.BootOps (eager boot placement) ---
+
+// RegionOrders returns the hypervisor's scaled huge and mid region
+// orders.
+func (d *Domain) RegionOrders() (huge, mid int) { return d.hv.Cfg.HugeOrder, d.hv.Cfg.MidOrder }
+
+// AllocRegion allocates one 2^order block on node, without fallback.
+func (d *Domain) AllocRegion(node numa.NodeID, order int) (mem.MFN, error) {
+	return d.hv.Alloc.Alloc(node, order)
+}
+
+// MapRegion maps the 2^order frames of block phys-contiguously starting
+// at base. The block is recorded as a single allocation, so releaseFrames
+// returns it whole; pages inside it individually invalidated later stay
+// owned by the block record (see InvalidatePage).
+func (d *Domain) MapRegion(base mem.PFN, block mem.MFN, order int) {
+	d.frames = append(d.frames, frameAlloc{mfn: block, order: order})
+	for i := uint64(0); i < mem.FramesOf(order); i++ {
+		d.table.Map(base+mem.PFN(i), block+mem.MFN(i))
+	}
+}
 
 // MapPage installs pfn→mfn, records ownership at page granularity and
 // notifies the placement observer.
@@ -349,31 +304,53 @@ func (d *Domain) NodeOfPCPU(v int) numa.NodeID {
 }
 
 // HypercallSetPolicy is the first hypercall of the external interface
-// (§4.2.1): switch the static policy and/or toggle Carrefour. Switching
-// to round-1G at run time is rejected, as in the paper. The returned
+// (§4.2.1): switch the static policy and/or toggle Carrefour. The
+// target policy is resolved through the registry; boot-only layouts
+// (round-1G) are rejected at run time, as in the paper. The returned
 // duration is the cost charged to the calling vCPU.
 func (d *Domain) HypercallSetPolicy(cfg policy.Config) (sim.Time, error) {
 	cost := CostHypercall
 	d.Hypercalls++
 	d.hv.Hypercalls++
-	if cfg.Static == policy.Round1G && d.bootKind != policy.Round1G {
-		return cost, fmt.Errorf("xen: round-1G is a boot option, not a runtime policy (§4.2.1)")
+	// Canonicalize so aliases and case variants ("ft", "BIND:03")
+	// compare equal to the stored boot/current kinds.
+	desc, arg, canon, err := policy.Resolve(cfg.Static)
+	if err != nil {
+		return cost, fmt.Errorf("xen: %w", err)
 	}
-	if cfg.Static == policy.FirstTouch && d.hv.Cfg.IOMMU && d.passthrough {
+	cfg.Static = canon
+	if desc.BootOnly && d.bootKind != cfg.Static {
+		return cost, fmt.Errorf("xen: %s is a boot option, not a runtime policy (§4.2.1)", cfg.Static)
+	}
+	if cfg.Carrefour && !desc.Carrefour {
+		return cost, fmt.Errorf("xen: carrefour cannot stack on %s", desc.Name)
+	}
+	// Build the new policy before any state changes: a rejected switch
+	// must leave the domain untouched (in particular its passthrough
+	// driver).
+	var pol policy.Policy
+	if cfg.Static != d.cfg.Static {
+		pol, err = desc.New(arg, d.hv.Topo.NumNodes())
+		if err != nil {
+			return cost, fmt.Errorf("xen: %w", err)
+		}
+	}
+	if desc.UsesPageQueue && d.hv.Cfg.IOMMU && d.passthrough {
 		// §4.4.1: the IOMMU cannot resolve invalid entries, so the
-		// passthrough driver must be disabled with first-touch.
+		// passthrough driver must be disabled for entry-invalidating
+		// policies.
 		d.passthrough = false
 		d.hv.PassthroughOffs++
 	}
-	if cfg.Static != d.cfg.Static {
-		d.pol = policy.New(cfg.Static)
+	if pol != nil {
+		d.pol = pol
 	}
 	d.cfg = cfg
 	d.HypercallTime += cost
 	d.hv.HypercallTime += cost
 	d.hv.Trace.Record(trace.Event{
 		Time: d.hv.Eng.Now(), Kind: trace.KindPolicySwitch, Dom: int(d.ID),
-		Arg0: uint64(cfg.Static),
+		Arg0: uint64(policy.IndexOf(cfg.Static)),
 	})
 	return cost, nil
 }

@@ -169,9 +169,12 @@ type DomainSpec struct {
 	// builder packs the domain onto the minimal set of underloaded
 	// nodes, reserving one physical CPU per vCPU (§3.3).
 	PinCPUs []numa.CPUID
-	// Boot selects the boot-time memory layout: Round4K (the paper's
-	// default, §4.2.1) or Round1G (Xen's stock behaviour, kept as a boot
-	// option). FirstTouch is not a valid boot layout.
+	// Boot selects the boot-time memory layout: any registered policy
+	// kind that may be booted — eagerly placed like Round4K (the
+	// paper's default, §4.2.1) or Round1G (Xen's stock behaviour, kept
+	// as a boot option and the default when empty), or lazily for kinds
+	// without a boot placer (every entry starts invalid and faults into
+	// the policy). Runtime-only kinds such as FirstTouch are rejected.
 	Boot policy.Kind
 }
 
@@ -185,12 +188,26 @@ func (h *Hypervisor) CreateDomain(spec DomainSpec) (*Domain, error) {
 	if spec.MemBytes < mem.PageSize {
 		return nil, fmt.Errorf("xen: domain %q needs at least one page", spec.Name)
 	}
-	if spec.Boot == policy.FirstTouch {
-		return nil, fmt.Errorf("xen: first-touch is not a boot layout; boot round-4K and switch (§4.2.1)")
+	if spec.Boot == "" {
+		spec.Boot = policy.Round1G // Xen's stock default layout
+	}
+	// Resolve once and keep the canonical kind: bootKind is compared
+	// against runtime policies later, and an alias spelling ("r1g")
+	// must not defeat those checks.
+	bdesc, barg, bootCanon, err := policy.Resolve(spec.Boot)
+	if err != nil {
+		return nil, fmt.Errorf("xen: domain %q: %w", spec.Name, err)
+	}
+	spec.Boot = bootCanon
+	if bdesc.RuntimeOnly {
+		return nil, fmt.Errorf("xen: %s is not a boot layout; boot round-4K and switch (§4.2.1)", spec.Boot)
+	}
+	pol, err := bdesc.New(barg, h.Topo.NumNodes())
+	if err != nil {
+		return nil, fmt.Errorf("xen: domain %q: %w", spec.Name, err)
 	}
 	pins := spec.PinCPUs
 	if len(pins) == 0 {
-		var err error
 		pins, err = h.packVCPUs(spec.VCPUs, spec.MemBytes)
 		if err != nil {
 			return nil, err
@@ -198,7 +215,7 @@ func (h *Hypervisor) CreateDomain(spec DomainSpec) (*Domain, error) {
 	} else if len(pins) != spec.VCPUs {
 		return nil, fmt.Errorf("xen: %d pins for %d vCPUs", len(pins), spec.VCPUs)
 	}
-	d := newDomain(h, h.nextID, spec, pins)
+	d := newDomain(h, h.nextID, spec, pins, bdesc.Boot, pol)
 	if err := d.populate(); err != nil {
 		d.releaseFrames()
 		return nil, fmt.Errorf("xen: populating domain %q: %w", spec.Name, err)

@@ -1,32 +1,81 @@
 #!/usr/bin/env sh
-# bench_engine.sh — run the engine hot-loop benchmark and record the
-# perf trajectory in BENCH_engine.json (ns/op, B/op, allocs/op).
+# bench_engine.sh — run the engine hot-loop benchmark and track the
+# perf trajectory against BENCH_engine.json (ns/op, B/op, allocs/op).
 #
 #   scripts/bench_engine.sh            # one pass, rewrites BENCH_engine.json
-#   COUNT=5 scripts/bench_engine.sh    # more -count repetitions (last wins)
+#   scripts/bench_engine.sh check      # compare against the committed file:
+#                                      # exit 1 on a >25% ns/op regression
+#   COUNT=5 scripts/bench_engine.sh    # more -count repetitions (best wins)
 set -eu
 cd "$(dirname "$0")/.."
+
+mode="${1:-record}"
+case "$mode" in
+record | check) ;;
+*)
+	echo "usage: scripts/bench_engine.sh [record|check]" >&2
+	exit 2
+	;;
+esac
 
 out=$(go test -run '^$' -bench BenchmarkEpoch -benchmem -count "${COUNT:-1}" ./internal/engine/)
 printf '%s\n' "$out"
 
-printf '%s\n' "$out" | awk '
+# Keep the best (minimum-ns) repetition: the least-noisy estimate.
+line=$(printf '%s\n' "$out" | awk '
 /^BenchmarkEpoch/ {
-	name = $1; iters = $2; ns = $3; bytes = $5; allocs = $7
+	if (best == "" || $3 + 0 < best + 0) {
+		best = $3
+		name = $1; iters = $2; ns = $3; bytes = $5; allocs = $7
+	}
 }
 END {
 	if (name == "") {
 		print "bench_engine.sh: no BenchmarkEpoch line in output" > "/dev/stderr"
 		exit 1
 	}
-	printf "{\n"
-	printf "  \"benchmark\": \"%s\",\n", name
-	printf "  \"iterations\": %s,\n", iters
-	printf "  \"ns_per_op\": %s,\n", ns
-	printf "  \"bytes_per_op\": %s,\n", bytes
-	printf "  \"allocs_per_op\": %s\n", allocs
-	printf "}\n"
-}' >BENCH_engine.json
+	print name, iters, ns, bytes, allocs
+}')
+set -- $line
+name=$1 iters=$2 ns=$3 bytes=$4 allocs=$5
+
+if [ "$mode" = check ]; then
+	if [ ! -f BENCH_engine.json ]; then
+		echo "bench_engine.sh: no committed BENCH_engine.json to compare against" >&2
+		exit 1
+	fi
+	old=$(awk -F: '/"ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_engine.json)
+	oldallocs=$(awk -F: '/"allocs_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_engine.json)
+	# allocs/op is machine-independent and gates exactly; ns/op carries
+	# hardware variance, so it only catches gross (>25%) slowdowns.
+	awk -v new="$ns" -v old="$old" -v na="$allocs" -v oa="$oldallocs" 'BEGIN {
+		if (old + 0 <= 0) {
+			print "bench_engine.sh: bad ns_per_op in BENCH_engine.json" > "/dev/stderr"
+			exit 1
+		}
+		ratio = new / old
+		printf "bench_engine.sh: %s ns/op vs committed %s (%.2fx), %s allocs/op vs %s\n", new, old, ratio, na, oa
+		if (na + 0 > oa + 0) {
+			print "bench_engine.sh: REGRESSION — epoch loop allocates more than BENCH_engine.json" > "/dev/stderr"
+			exit 1
+		}
+		if (ratio > 1.25) {
+			print "bench_engine.sh: REGRESSION — epoch loop more than 25% slower than BENCH_engine.json" > "/dev/stderr"
+			exit 1
+		}
+	}'
+	exit 0
+fi
+
+cat >BENCH_engine.json <<EOF
+{
+  "benchmark": "$name",
+  "iterations": $iters,
+  "ns_per_op": $ns,
+  "bytes_per_op": $bytes,
+  "allocs_per_op": $allocs
+}
+EOF
 
 echo "wrote BENCH_engine.json:"
 cat BENCH_engine.json

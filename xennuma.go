@@ -16,7 +16,6 @@ package xennuma
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/guest"
@@ -35,27 +34,12 @@ type Policy = policy.Config
 // Result re-exports the engine's per-run outcome.
 type Result = engine.Result
 
-// ParsePolicy parses "round-1g", "round-4k", "first-touch", optionally
-// suffixed with "/carrefour" (e.g. "round-4k/carrefour").
-func ParsePolicy(s string) (Policy, error) {
-	var cfg Policy
-	name := strings.ToLower(strings.TrimSpace(s))
-	if rest, ok := strings.CutSuffix(name, "/carrefour"); ok {
-		cfg.Carrefour = true
-		name = rest
-	}
-	switch name {
-	case "round-1g", "round1g", "r1g":
-		cfg.Static = policy.Round1G
-	case "round-4k", "round4k", "r4k":
-		cfg.Static = policy.Round4K
-	case "first-touch", "firsttouch", "ft":
-		cfg.Static = policy.FirstTouch
-	default:
-		return cfg, fmt.Errorf("xennuma: unknown policy %q", s)
-	}
-	return cfg, nil
-}
+// ParsePolicy parses any policy registered in internal/policy —
+// "round-1g", "round-4k", "first-touch", "interleave", "bind:<node>",
+// "least-loaded", … — optionally suffixed with "/carrefour" (e.g.
+// "round-4k/carrefour") for policies Carrefour may stack on. Run
+// `xnuma policies` for the full registry.
+func ParsePolicy(s string) (Policy, error) { return policy.Parse(s) }
 
 // MustPolicy is ParsePolicy that panics on error, for literals.
 func MustPolicy(s string) Policy {
@@ -286,9 +270,9 @@ func vmMemBytes(topo *numa.Topology, prof workload.Profile, o Options, vms int) 
 }
 
 func buildXenInstance(hv *xen.Hypervisor, topo *numa.Topology, prof workload.Profile, pol Policy, o Options, pins []numa.CPUID) (*engine.Instance, error) {
-	boot := policy.Round4K
-	if pol.Static == policy.Round1G {
-		boot = policy.Round1G
+	boot, err := policy.BootKind(pol.Static)
+	if err != nil {
+		return nil, err
 	}
 	vms := 1
 	if len(pins) > 0 && len(pins) < topo.NumCPUs() {

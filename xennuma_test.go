@@ -39,6 +39,58 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+// TestParsePolicyRoundTrip: for every policy in the registry
+// (parameterized kinds instantiated with their default argument) and
+// every legal Carrefour suffix, ParsePolicy(cfg.String()) == cfg.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, d := range policy.List() {
+		name := d.Name
+		if d.Parameterized {
+			name += ":" + d.DefaultArg
+		}
+		variants := []string{name}
+		if d.Carrefour {
+			variants = append(variants, name+"/carrefour")
+		}
+		for _, v := range variants {
+			cfg, err := ParsePolicy(v)
+			if err != nil {
+				t.Fatalf("ParsePolicy(%q): %v", v, err)
+			}
+			again, err := ParsePolicy(cfg.String())
+			if err != nil {
+				t.Fatalf("ParsePolicy(%q): %v", cfg.String(), err)
+			}
+			if again != cfg {
+				t.Errorf("round trip broke: %q → %+v → %q → %+v", v, cfg, cfg.String(), again)
+			}
+		}
+	}
+}
+
+// TestRegisteredPoliciesEndToEnd proves the registry is open: the three
+// policies added on top of the paper's set complete under both the Xen
+// stack and the native baseline without any layer special-casing them.
+func TestRegisteredPoliciesEndToEnd(t *testing.T) {
+	for _, pol := range []string{"interleave", "bind:3", "least-loaded"} {
+		p := MustPolicy(pol)
+		x, err := RunXen("swaptions", p, fastOpts())
+		if err != nil {
+			t.Fatalf("RunXen(%s): %v", pol, err)
+		}
+		if x.Completion <= 0 || x.TimedOut {
+			t.Fatalf("RunXen(%s): bad result %+v", pol, x)
+		}
+		l, err := RunLinux("swaptions", p, Options{Scale: 256})
+		if err != nil {
+			t.Fatalf("RunLinux(%s): %v", pol, err)
+		}
+		if l.Completion <= 0 || l.TimedOut {
+			t.Fatalf("RunLinux(%s): bad result %+v", pol, l)
+		}
+	}
+}
+
 func TestMustPolicyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
