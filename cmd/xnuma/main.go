@@ -9,6 +9,10 @@
 //	xnuma fig7 table4          # run specific experiments
 //	xnuma run cg.C first-touch # one single-VM run with details
 //	xnuma run cg.C bind:3      # any registered policy works
+//	xnuma sweep facesim        # every registered policy × {plain, Carrefour}
+//	xnuma sweep -bind facesim  # per-node bind:0..7 placement sensitivity
+//	xnuma sweep -seeds 5 cg.C  # best-policy stability across 5 seeds
+//	xnuma advise               # §3.5.2 advisor vs exhaustive sweep
 //	xnuma topo                 # dump the machine topology
 //
 // Flags:
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	xennuma "repro"
+	"repro/internal/advisor"
 	"repro/internal/exp"
 	"repro/internal/numa"
 	"repro/internal/policy"
@@ -52,7 +57,8 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
 usage:
-  xnuma [flags] list | policies | all | topo | <experiment-id>... | run <app> <policy>`)
+  xnuma [flags] list | policies | all | topo | <experiment-id>... | run <app> <policy>
+  xnuma [flags] sweep [-bind] [-seeds N] <app> | advise [app...]`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -126,6 +132,22 @@ usage:
 			fmt.Fprintln(stderr, "xnuma:", err)
 			return 2
 		}
+	case "sweep":
+		if c := runSweep(s, stdout, stderr, render, args[1:]); c != 0 {
+			return c
+		}
+	case "advise":
+		apps := args[1:]
+		if len(apps) == 0 {
+			apps = advisor.DefaultApps
+		}
+		for _, app := range apps {
+			if err := knownApp(app); err != nil {
+				fmt.Fprintln(stderr, "xnuma:", err)
+				return 2
+			}
+		}
+		fmt.Fprintln(stdout, render(advisor.Table(s, advisor.TargetXen, apps)))
 	default:
 		for _, id := range args {
 			fn := exp.ByID(id)
@@ -171,19 +193,65 @@ func printPolicies(w io.Writer) {
 	}
 }
 
+// knownApp rejects application names the workload set does not contain.
+func knownApp(app string) error {
+	for _, a := range xennuma.Apps() {
+		if a == app {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown application %q (try: xnuma list)", app)
+}
+
+// runSweep parses the sweep subcommand's own flags and prints the
+// selected sweep table: the policy × Carrefour sweep by default, the
+// per-node bind sweep with -bind, the seed-stability sweep with
+// -seeds N. It reports its errors itself and returns the exit code.
+func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) string, args []string) int {
+	fs := flag.NewFlagSet("xnuma sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bind := fs.Bool("bind", false, "sweep bind:<node> over every node instead of the policy registry")
+	seeds := fs.Int("seeds", 1, "average the sweep over N consecutive seeds and report best-policy stability")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: xnuma sweep [-bind] [-seeds N] <app>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0 // usage printed; asking for help is not a failure
+		}
+		return 2 // the FlagSet already reported the error
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "xnuma:", err)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return fail(fmt.Errorf("usage: xnuma sweep [-bind] [-seeds N] <app>"))
+	}
+	app := fs.Arg(0)
+	if err := knownApp(app); err != nil {
+		return fail(err)
+	}
+	switch {
+	case *bind && *seeds > 1:
+		return fail(fmt.Errorf("sweep: -bind and -seeds are mutually exclusive"))
+	case *bind:
+		fmt.Fprintln(stdout, render(exp.BindSweep(s, app)))
+	case *seeds > 1:
+		fmt.Fprintln(stdout, render(exp.SeedSweep(s, app, *seeds)))
+	default:
+		fmt.Fprintln(stdout, render(exp.PolicySweep(s, app)))
+	}
+	return 0
+}
+
 func runOne(s *exp.Suite, stdout io.Writer, app, pol string) error {
 	if _, err := xennuma.ParsePolicy(pol); err != nil {
 		return err
 	}
-	known := false
-	for _, a := range xennuma.Apps() {
-		if a == app {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return fmt.Errorf("unknown application %q (try: xnuma list)", app)
+	if err := knownApp(app); err != nil {
+		return err
 	}
 	r := s.Xen(app, pol, true)
 	fmt.Fprintf(stdout, "app:          %s\n", r.App)

@@ -137,3 +137,70 @@ func TestRunBadPolicy(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestSweepTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "sweep", "swaptions")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	// One row per registered policy, including the new ones.
+	for _, want := range []string{"== sweep:", "round-1g", "bind:0", "least-loaded", "adaptive", "best:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepBindTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "sweep", "-bind", "swaptions")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"== sweep-bind:", "bind:7", "sensitivity:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bind sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepSeedsTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "sweep", "-seeds", "2", "swaptions")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"== sweep-seeds:", "wins/2", "modal best"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seed sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepUsage(t *testing.T) {
+	if code, _, _ := runCLI(t, "sweep"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "nosuch-app"); code != 2 {
+		t.Fatalf("unknown app: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "-bind", "-seeds", "3", "swaptions"); code != 2 {
+		t.Fatalf("-bind with -seeds: exit %d, want 2", code)
+	}
+}
+
+func TestAdviseTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "advise", "swaptions")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"== advise:", "swaptions", "advice gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advise output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdviseUnknownApp(t *testing.T) {
+	if code, _, _ := runCLI(t, "advise", "nosuch-app"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

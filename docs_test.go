@@ -1,0 +1,70 @@
+package xennuma
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocsPresent keeps the godoc audit from rotting: the root
+// package and every package under internal/ must carry a substantive
+// package comment that states the package's role and anchors it to the
+// paper (a §, Table or Figure reference, or at least the word "paper").
+// A new package without one fails here, not in review.
+func TestPackageDocsPresent(t *testing.T) {
+	dirs := []string{"."}
+	ents, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("internal", e.Name()))
+		}
+	}
+
+	for _, dir := range dirs {
+		doc := packageDoc(t, dir)
+		if doc == "" {
+			t.Errorf("%s: no package comment on any file", dir)
+			continue
+		}
+		if len(doc) < 100 {
+			t.Errorf("%s: package comment too thin to state the package's role (%d chars): %q",
+				dir, len(doc), doc)
+		}
+		if !strings.ContainsAny(doc, "§") &&
+			!strings.Contains(doc, "Table") &&
+			!strings.Contains(doc, "Figure") &&
+			!strings.Contains(doc, "paper") {
+			t.Errorf("%s: package comment does not anchor the package to the paper:\n%s", dir, doc)
+		}
+	}
+}
+
+// packageDoc returns the package comment of the (single) non-test
+// package in dir, or "" when no file carries one.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if af.Doc != nil {
+			return af.Doc.Text()
+		}
+	}
+	return ""
+}

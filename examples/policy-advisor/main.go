@@ -4,34 +4,26 @@
 //
 // The paper closes by noting that "automatically selecting the most
 // efficient NUMA policy in an hypervisor ... remains an open subject"
-// (§7). This example implements the selection rule the paper's own
-// analysis suggests (§3.5.2): measure the memory-access imbalance under
-// first-touch, classify the application, and map the class to a policy —
-// high → round-4K/Carrefour, moderate → first-touch/Carrefour,
-// low → first-touch. It then validates the advice against an exhaustive
-// sweep over every policy in the registry — including the ones the
-// paper never measured (interleave, bind:<node>, least-loaded) — fanned
-// out across the experiment scheduler's worker pool.
+// (§7). The selection rule its own analysis suggests (§3.5.2) — measure
+// the memory-access imbalance under first-touch, classify the
+// application, and map the class to a policy — lives in
+// internal/advisor; this example is a thin consumer: it asks the
+// library for a recommendation per application and prints the advice
+// gap against the exhaustive sweep of the advisor's registry-bounded
+// candidate set (every runtime-selectable policy, including the ones
+// the paper never measured — interleave, bind:<node>, least-loaded,
+// adaptive — and the Carrefour variant knobs), fanned out across the
+// experiment scheduler's worker pool. The same table is available as
+// `xnuma advise`.
 package main
 
 import (
 	"fmt"
 	"os"
 
+	"repro/internal/advisor"
 	"repro/internal/exp"
-	"repro/internal/metrics"
 )
-
-func advise(imbalance float64) string {
-	switch metrics.Classify(imbalance) {
-	case metrics.ClassHigh:
-		return "round-4k/carrefour"
-	case metrics.ClassModerate:
-		return "first-touch/carrefour"
-	default:
-		return "first-touch"
-	}
-}
 
 func main() {
 	// A failing simulation (e.g. an unknown application name) surfaces
@@ -45,43 +37,10 @@ func main() {
 
 	apps := os.Args[1:]
 	if len(apps) == 0 {
-		apps = []string{"facesim", "bt.C", "cg.C", "kmeans", "mg.D"}
+		apps = advisor.DefaultApps
 	}
 	s := exp.NewSuite(64)
-	// The probe run and the whole validation sweep — every registered
-	// policy, not just the paper's five — are independent cells: submit
-	// them all up front and join once.
-	pols := exp.RegisteredXenPolicies()
-	for _, app := range apps {
-		for _, pol := range pols {
-			s.PrefetchXen(app, pol, true)
-		}
-	}
-	s.Join()
-
-	fmt.Printf("sweeping %d registered policies: %v\n\n", len(pols), pols)
-	fmt.Printf("%-12s  %-9s  %-5s  %-22s  %-22s  %s\n",
-		"app", "imbalance", "class", "advised", "best (sweep)", "advice gap")
-	for _, app := range apps {
-		// Profile: one run under first-touch to measure the imbalance
-		// (a cache hit after the joined sweep).
-		probe := s.Xen(app, "first-touch", true)
-		advice := advise(probe.Imbalance)
-
-		// Validate against the exhaustive registry sweep.
-		bestPol, best := "", probe
-		for _, pol := range pols {
-			if r := s.Xen(app, pol, true); bestPol == "" || r.Completion < best.Completion {
-				bestPol, best = pol, r
-			}
-		}
-		advised := s.Xen(app, advice, true)
-		gap := float64(advised.Completion)/float64(best.Completion) - 1
-		fmt.Printf("%-12s  %7.0f%%   %-5s  %-22s  %-22s  %+.0f%%\n",
-			app, probe.Imbalance, metrics.Classify(probe.Imbalance),
-			advice, bestPol, 100*gap)
-	}
-	fmt.Println("\nadvice gap = completion of the advised policy versus the true best")
-	fmt.Println("across every registered policy; the paper measures the same rule at")
-	fmt.Println("1-2% average loss over its five policies (§3.5.2).")
+	fmt.Printf("sweeping %d registry-bounded candidates per app: %v\n\n",
+		len(advisor.Candidates(advisor.TargetXen)), advisor.Candidates(advisor.TargetXen))
+	fmt.Println(advisor.Table(s, advisor.TargetXen, apps).Render())
 }

@@ -15,6 +15,8 @@
 package carrefour
 
 import (
+	"fmt"
+
 	"repro/internal/numa"
 	"repro/internal/sim"
 )
@@ -73,8 +75,55 @@ type Tick struct {
 	Rand        *sim.Rand
 }
 
+// Mode selects which of Carrefour's heuristics may run, the ablation
+// knobs the paper's §7 names as future work (running Carrefour with
+// only one mechanism isolates which heuristic an application actually
+// needs). The zero value is the full policy as ported in §3.4.
+type Mode int
+
+const (
+	// ModeFull runs every enabled heuristic: interleave on controller
+	// overload, locality migration on link saturation, and replication
+	// when Config.EnableReplication is set.
+	ModeFull Mode = iota
+	// ModeMigrationOnly keeps only the locality-migration heuristic:
+	// no hot-page interleaving, no replication.
+	ModeMigrationOnly
+	// ModeReplicationOnly keeps only the replication heuristic (New
+	// turns Config.EnableReplication on for it); pages are never
+	// migrated.
+	ModeReplicationOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeMigrationOnly:
+		return "migration-only"
+	case ModeReplicationOnly:
+		return "replication-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// interleaves reports whether the hot-page interleave heuristic may run.
+func (m Mode) interleaves() bool { return m == ModeFull }
+
+// migrates reports whether the locality-migration heuristic may run.
+func (m Mode) migrates() bool { return m == ModeFull || m == ModeMigrationOnly }
+
+// replicates reports whether the replication heuristic may run (still
+// subject to Config.EnableReplication under ModeFull).
+func (m Mode) replicates() bool { return m == ModeFull || m == ModeReplicationOnly }
+
 // Config tunes the decision thresholds.
 type Config struct {
+	// Mode restricts the controller to a subset of the heuristics
+	// (§7's replication-only / migration-only variants). ModeFull, the
+	// zero value, is the paper's port.
+	Mode Mode
 	// CtrlOverload triggers the interleave heuristic when any
 	// controller's utilization exceeds it.
 	CtrlOverload float64
@@ -121,8 +170,15 @@ type Controller struct {
 	rr              int
 }
 
-// New returns a controller with cfg.
-func New(cfg Config) *Controller { return &Controller{Cfg: cfg} }
+// New returns a controller with cfg, applying the mode's implications
+// (ModeReplicationOnly turns EnableReplication on — the variant is
+// meaningless without it).
+func New(cfg Config) *Controller {
+	if cfg.Mode == ModeReplicationOnly {
+		cfg.EnableReplication = true
+	}
+	return &Controller{Cfg: cfg}
+}
 
 // Move records one page migration's endpoints, for traffic accounting by
 // the caller.
@@ -146,20 +202,22 @@ func (c *Controller) Step(t Tick) Result {
 	var res Result
 	budget := c.Cfg.BudgetPages
 
-	if c.controllersOverloaded(t.CtrlUtil) {
+	if c.Cfg.Mode.interleaves() && c.controllersOverloaded(t.CtrlUtil) {
 		c.InterleaveTicks++
 		n := c.interleave(t, &budget)
 		res.InterleaveMoves += n
 		res.Migrated += n
 	}
 	if t.MaxLinkUtil > c.Cfg.LinkSaturation {
-		c.MigrationTicks++
-		if c.Cfg.EnableReplication {
+		if c.Cfg.EnableReplication && c.Cfg.Mode.replicates() {
 			res.Replications += c.replicate(t)
 		}
-		n := c.localityMigrate(t, &budget)
-		res.LocalityMoves += n
-		res.Migrated += n
+		if c.Cfg.Mode.migrates() {
+			c.MigrationTicks++
+			n := c.localityMigrate(t, &budget)
+			res.LocalityMoves += n
+			res.Migrated += n
+		}
 	}
 	return res
 }

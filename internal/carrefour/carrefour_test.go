@@ -205,3 +205,83 @@ func TestCountersAccumulate(t *testing.T) {
 		t.Fatalf("counters: %+v", c)
 	}
 }
+
+// replSet is a fakeSet that also supports replication.
+type replSet struct {
+	*fakeSet
+	replicated bool
+}
+
+func (s *replSet) Replicate() bool {
+	if s.replicated {
+		return false
+	}
+	s.replicated = true
+	return true
+}
+
+// TestModesGateHeuristics: the §7 variant knobs restrict the controller
+// to one mechanism. The tick triggers every heuristic at once
+// (overloaded+imbalanced controllers, saturated link, hot read-only set
+// with a dominant accessor elsewhere than its pages); each mode must
+// run exactly its own subset.
+func TestModesGateHeuristics(t *testing.T) {
+	cases := []struct {
+		mode                      Mode
+		interleave, migrate, repl bool
+	}{
+		{ModeFull, true, true, true},
+		{ModeMigrationOnly, false, true, false},
+		{ModeReplicationOnly, false, false, true},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		cfg.Mode = tc.mode
+		cfg.EnableReplication = true
+		c := New(cfg)
+		// Hot read-only multi-accessor set (replication target) plus a
+		// single-accessor remote set (migration target), pages on the
+		// overloaded node 0 (interleave target).
+		hot := &replSet{fakeSet: newFakeSet(0, 0)}
+		remote := newFakeSet(0, 0, 0, 0)
+		tick := Tick{
+			CtrlUtil:    []float64{0.9, 0.05, 0.05, 0.05},
+			MaxLinkUtil: 0.5,
+			Samples: []Sample{
+				{Set: hot, AccessShare: 0.5, Accessors: uniform(4), Hot: true, ReadOnly: true},
+				{Set: remote, AccessShare: 0.4, Accessors: accessors(4, 1, 0.9)},
+			},
+			Rand: sim.NewRand(1),
+		}
+		res := c.Step(tick)
+		if got := res.InterleaveMoves > 0; got != tc.interleave {
+			t.Errorf("%v: interleave moves %d, want active=%v", tc.mode, res.InterleaveMoves, tc.interleave)
+		}
+		if got := res.LocalityMoves > 0; got != tc.migrate {
+			t.Errorf("%v: locality moves %d, want active=%v", tc.mode, res.LocalityMoves, tc.migrate)
+		}
+		if hot.replicated != tc.repl {
+			t.Errorf("%v: replicated=%v, want %v", tc.mode, hot.replicated, tc.repl)
+		}
+	}
+}
+
+// TestFullModeRespectsEnableReplication: ModeFull without
+// EnableReplication must not replicate (the paper's port leaves
+// replication out by default, §3.4); only the replication-only variant
+// implies the flag, at the engine layer.
+func TestFullModeRespectsEnableReplication(t *testing.T) {
+	cfg := DefaultConfig() // EnableReplication off
+	c := New(cfg)
+	hot := &replSet{fakeSet: newFakeSet(0, 0)}
+	tick := Tick{
+		CtrlUtil:    []float64{0.1, 0.1, 0.1, 0.1},
+		MaxLinkUtil: 0.5,
+		Samples:     []Sample{{Set: hot, AccessShare: 0.5, Accessors: uniform(4), Hot: true, ReadOnly: true}},
+		Rand:        sim.NewRand(1),
+	}
+	c.Step(tick)
+	if hot.replicated {
+		t.Fatal("replicated with EnableReplication off")
+	}
+}

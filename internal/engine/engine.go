@@ -10,11 +10,15 @@
 // epoch make rates and latencies self-consistent. All placement happens
 // through real page-table and allocator operations in the backend, so
 // the policies' mechanisms (not just their statistics) are exercised.
+// The loop's outputs are the measurements the paper's evaluation
+// reports (§5): completion time, memory-access imbalance and
+// interconnect load (Table 1).
 package engine
 
 import (
 	"fmt"
 
+	"repro/internal/carrefour"
 	"repro/internal/iosim"
 	"repro/internal/mem"
 	"repro/internal/numa"
@@ -286,6 +290,11 @@ type Instance struct {
 	Backend   Backend
 	NThreads  int
 	Carrefour bool
+	// CarrefourMode restricts the instance's Carrefour controller to a
+	// heuristic subset (§7's migration-only / replication-only knobs);
+	// the zero value defers to Config.Carrefour.Mode (itself ModeFull
+	// by default). Ignored when Carrefour is off.
+	CarrefourMode carrefour.Mode
 	// MCS enables the spin-lock mitigation for pthread-blocking apps
 	// (Xen+ and LinuxNUMA apply it to facesim and streamcluster).
 	MCS bool

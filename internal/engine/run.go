@@ -119,7 +119,13 @@ func (r *runner) setup() error {
 		}
 		r.instLoads = append(r.instLoads, metrics.NewEpochLoad(r.cfg.Topo, epochSec, r.cfg.CtrlBWBps))
 		r.stats = append(r.stats, metrics.NewRunStats(r.cfg.Topo))
-		r.ctrls = append(r.ctrls, carrefour.New(r.cfg.Carrefour))
+		ccfg := r.cfg.Carrefour
+		if in.CarrefourMode != carrefour.ModeFull {
+			// A per-instance variant overrides the run config's mode;
+			// the zero value defers to it.
+			ccfg.Mode = in.CarrefourMode
+		}
+		r.ctrls = append(r.ctrls, carrefour.New(ccfg))
 		r.units = append(r.units, make([]float64, in.NThreads))
 		if err := r.buildInstance(in); err != nil {
 			return err

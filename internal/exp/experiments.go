@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/guest"
 	"repro/internal/iosim"
@@ -14,8 +13,9 @@ import (
 )
 
 // Abbrev maps policy names to the paper's Table 4 shorthand through the
-// policy registry ("round-4k/carrefour" → "R4K/C", "bind:3" → "B3");
-// unknown names pass through unchanged.
+// policy registry ("round-4k/carrefour" → "R4K/C", "bind:3" → "B3",
+// "ft/carrefour:migration" → "FT/Cm"); unknown names pass through
+// unchanged.
 func Abbrev(pol string) string {
 	cfg, err := policy.Parse(pol)
 	if err != nil {
@@ -24,6 +24,12 @@ func Abbrev(pol string) string {
 	a := policy.Abbrev(cfg.Static)
 	if cfg.Carrefour {
 		a += "/C"
+		switch cfg.CarrefourVariant {
+		case policy.CarrefourMigrationOnly:
+			a += "m"
+		case policy.CarrefourReplicationOnly:
+			a += "r"
+		}
 	}
 	return a
 }
@@ -36,10 +42,7 @@ func Abbrev(pol string) string {
 func RegisteredXenPolicies() []string {
 	var out []string
 	for _, d := range policy.List() {
-		name := strings.ToLower(d.Name)
-		if d.Parameterized {
-			name += ":" + d.DefaultArg
-		}
+		name := d.DefaultSpelling()
 		out = append(out, name)
 		if d.Carrefour && !d.BootOnly {
 			out = append(out, name+"/carrefour")

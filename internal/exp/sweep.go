@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/numa"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// The sweep experiment family turns the open policy registry into a
+// decision-making instrument: instead of regenerating a fixed figure of
+// the paper, a sweep tabulates *every* registered policy for one
+// application — the measurement the paper's §7 says an automatic policy
+// selector would need. Three sweeps exist: the policy × Carrefour table
+// (PolicySweep), the per-node bind sweep mapping placement sensitivity
+// (BindSweep), and the seed-averaged stability report (SeedSweep). All
+// three fan their cells out through the suite's scheduler and are
+// bit-for-bit deterministic for a fixed seed at any worker count.
+
+// sweepRow is one registered policy as the sweeps run it: the plain
+// suite-ready spelling plus whether a Carrefour-stacked cell exists.
+type sweepRow struct {
+	name      string // "round-4k", "bind:0", ...
+	carrefour bool
+}
+
+// sweepRows enumerates the registry in registration order. Unlike
+// RegisteredXenPolicies it includes the Carrefour variant of boot-only
+// kinds: a sweep cell boots the domain with its row's policy, so
+// stacking Carrefour on round-1G is legal there (only a *runtime switch*
+// to a boot-only layout is not).
+func sweepRows() []sweepRow {
+	var rows []sweepRow
+	for _, d := range policy.List() {
+		rows = append(rows, sweepRow{name: d.DefaultSpelling(), carrefour: d.Carrefour})
+	}
+	return rows
+}
+
+// sweepPolicies flattens sweepRows into the cell list both sweeps run:
+// each policy's plain spelling plus its Carrefour variant where one
+// exists.
+func sweepPolicies() []string {
+	var pols []string
+	for _, r := range sweepRows() {
+		pols = append(pols, r.name)
+		if r.carrefour {
+			pols = append(pols, r.name+"/carrefour")
+		}
+	}
+	return pols
+}
+
+// PolicySweep tabulates every registered policy × {plain, Carrefour}
+// for app under Xen+: completion time and improvement over the Xen+
+// default (round-1G), one simulation cell per table cell, all fanned
+// out before any is read.
+func PolicySweep(s *Suite, app string) *Table {
+	rows := sweepRows()
+	pols := sweepPolicies()
+	for _, pol := range pols {
+		s.PrefetchXen(app, pol, true)
+	}
+	s.Join()
+
+	t := &Table{
+		ID:     "sweep",
+		Title:  fmt.Sprintf("Policy sweep for %s under Xen+ (improvement vs round-1G)", app),
+		Header: []string{"policy", "abbrev", "plain", "vs R1G", "carrefour", "vs R1G"},
+	}
+	base := s.Xen(app, "round-1g", true)
+	impr := func(r engine.Result) string {
+		return pct(float64(base.Completion)/float64(r.Completion) - 1)
+	}
+	for _, row := range rows {
+		plain := s.Xen(app, row.name, true)
+		ccomp, cimpr := "-", "-"
+		if row.carrefour {
+			c := s.Xen(app, row.name+"/carrefour", true)
+			ccomp, cimpr = c.Completion.String(), impr(c)
+		}
+		t.Rows = append(t.Rows, []string{
+			row.name, Abbrev(row.name), plain.Completion.String(), impr(plain), ccomp, cimpr})
+	}
+	bestPol, bestRes := s.best(pols, func(p string) engine.Result { return s.Xen(app, p, true) })
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("best: %s (%s, %s vs round-1G) over %d cells",
+			bestPol, bestRes.Completion, impr(bestRes), len(pols)))
+	return t
+}
+
+// BindSweep maps app's placement sensitivity: one cell per bind:<node>
+// policy, pinning every faulted page to that node. The spread between
+// the best and worst node shows how much the single-node placement
+// decision alone is worth.
+func BindSweep(s *Suite, app string) *Table {
+	// The node count is scale-independent (scale divides memory banks,
+	// not the topology), so query the unscaled machine.
+	nodes := numa.AMD48Scaled(1).NumNodes()
+	for n := 0; n < nodes; n++ {
+		s.PrefetchXen(app, fmt.Sprintf("bind:%d", n), true)
+	}
+	s.Join()
+
+	t := &Table{
+		ID:     "sweep-bind",
+		Title:  fmt.Sprintf("Per-node bind sweep for %s under Xen+ (placement sensitivity)", app),
+		Header: []string{"policy", "completion", "imbalance", "interconnect", "locality"},
+	}
+	bestNode, worstNode := 0, 0
+	var best, worst engine.Result
+	for n := 0; n < nodes; n++ {
+		r := s.Xen(app, fmt.Sprintf("bind:%d", n), true)
+		if n == 0 || r.Completion < best.Completion {
+			bestNode, best = n, r
+		}
+		if n == 0 || r.Completion > worst.Completion {
+			worstNode, worst = n, r
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("bind:%d", n), r.Completion.String(),
+			f0(r.Imbalance) + "%", f0(r.InterconnectLoad) + "%", f2(r.Locality)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"sensitivity: worst node %d is %s slower than best node %d",
+		worstNode, pct(float64(worst.Completion)/float64(best.Completion)-1), bestNode))
+	return t
+}
+
+// SeedSweep reports best-policy stability: it repeats the full policy
+// sweep for app across `seeds` consecutive seeds (starting at the
+// suite's seed) and tabulates each policy's mean completion and how
+// often it won. A cell's key does not carry the seed, so suites must
+// not be shared across seeds: s itself serves the seed it is keyed
+// for, every other seed runs on a fresh suite configured like s
+// (scale, options, worker count).
+func SeedSweep(s *Suite, app string, seeds int) *Table {
+	if seeds < 1 {
+		seeds = 1
+	}
+	baseSeed := s.Opt.Seed
+	if baseSeed == 0 {
+		baseSeed = 1 // the run layer normalizes seed 0 to 1
+	}
+	pols := sweepPolicies()
+	wins := make(map[string]int, len(pols))
+	mean := make(map[string]float64, len(pols))
+	var perSeed []string
+	for i := 0; i < seeds; i++ {
+		// The first seed is the caller's own (cellSeed normalizes seed
+		// 0 to 1 exactly like baseSeed above), so s serves it from its
+		// cache — pure hits when a PolicySweep ran before. Later seeds
+		// get a fresh suite configured like s.
+		seed := baseSeed + uint64(i)
+		ss := s
+		if i > 0 {
+			ss = NewSuiteParallel(s.Opt.Scale, s.Workers())
+			ss.Opt = s.Opt
+			ss.Opt.Seed = seed
+		}
+		for _, pol := range pols {
+			ss.PrefetchXen(app, pol, true)
+		}
+		ss.Join()
+		for _, pol := range pols {
+			mean[pol] += float64(ss.Xen(app, pol, true).Completion) / float64(seeds)
+		}
+		best, _ := ss.best(pols, func(p string) engine.Result { return ss.Xen(app, p, true) })
+		wins[best]++
+		perSeed = append(perSeed, fmt.Sprintf("seed %d → %s", seed, Abbrev(best)))
+	}
+
+	// Rank by mean completion; ties keep registration order (sort is
+	// stable over the deterministic pols slice).
+	order := append([]string(nil), pols...)
+	sort.SliceStable(order, func(a, b int) bool { return mean[order[a]] < mean[order[b]] })
+
+	t := &Table{
+		ID:     "sweep-seeds",
+		Title:  fmt.Sprintf("Best-policy stability for %s across %d seeds (Xen+)", app, seeds),
+		Header: []string{"policy", "abbrev", "mean completion", fmt.Sprintf("wins/%d", seeds)},
+	}
+	for _, pol := range order {
+		t.Rows = append(t.Rows, []string{
+			pol, Abbrev(pol), sim.Time(mean[pol]).String(), fmt.Sprintf("%d", wins[pol])})
+	}
+	modal, modalWins := order[0], wins[order[0]]
+	for _, pol := range order {
+		if wins[pol] > modalWins {
+			modal, modalWins = pol, wins[pol]
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("modal best %s wins %d/%d seeds", Abbrev(modal), modalWins, seeds),
+		strings.Join(perSeed, "; "))
+	return t
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderSweeps drives all three sweep tables for one cheap app on a
+// fresh suite with the given worker count.
+func renderSweeps(workers int, seed uint64) string {
+	s := NewSuiteParallel(256, workers)
+	s.Opt.Seed = seed
+	var b strings.Builder
+	b.WriteString(PolicySweep(s, "swaptions").Render())
+	b.WriteString(BindSweep(s, "swaptions").Render())
+	b.WriteString(SeedSweep(s, "swaptions", 2).Render())
+	return b.String()
+}
+
+// TestSweepsDeterministicAcrossWorkers: the same seed must produce
+// byte-identical sweep tables no matter how many workers execute the
+// cells. Run with -race to also validate concurrent cell execution.
+func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
+	want := renderSweeps(1, 7)
+	got := renderSweeps(6, 7)
+	if got != want {
+		t.Fatalf("sweep tables differ across worker counts:\n--- 1 worker ---\n%s--- 6 workers ---\n%s", want, got)
+	}
+}
+
+// TestPolicySweepCoversRegistry: the policy sweep must have one row per
+// registered policy and a Carrefour cell exactly where the descriptor
+// allows stacking.
+func TestPolicySweepCoversRegistry(t *testing.T) {
+	s := NewSuiteParallel(256, 0)
+	tab := PolicySweep(s, "swaptions")
+	rows := sweepRows()
+	if len(tab.Rows) != len(rows) {
+		t.Fatalf("sweep has %d rows, registry has %d policies", len(tab.Rows), len(rows))
+	}
+	for i, r := range rows {
+		if tab.Rows[i][0] != r.name {
+			t.Errorf("row %d is %q, want %q", i, tab.Rows[i][0], r.name)
+		}
+		carrefourCell := tab.Rows[i][4]
+		if r.carrefour && carrefourCell == "-" {
+			t.Errorf("%s: missing carrefour cell", r.name)
+		}
+		if !r.carrefour && carrefourCell != "-" {
+			t.Errorf("%s: carrefour cell %q for an unstackable policy", r.name, carrefourCell)
+		}
+	}
+}
+
+// TestBindSweepCoversEveryNode: one row per node of the machine.
+func TestBindSweepCoversEveryNode(t *testing.T) {
+	s := NewSuiteParallel(256, 0)
+	tab := BindSweep(s, "swaptions")
+	if len(tab.Rows) != 8 {
+		t.Fatalf("bind sweep has %d rows, want 8 (AMD48 nodes)", len(tab.Rows))
+	}
+	if tab.Rows[3][0] != "bind:3" {
+		t.Fatalf("row 3 is %q, want bind:3", tab.Rows[3][0])
+	}
+}
+
+// TestSeedSweepWinsSumToSeeds: every seed elects exactly one winner.
+func TestSeedSweepWinsSumToSeeds(t *testing.T) {
+	s := NewSuiteParallel(256, 0)
+	const seeds = 3
+	tab := SeedSweep(s, "swaptions", seeds)
+	total := 0
+	for _, row := range tab.Rows {
+		n := 0
+		if _, err := fmt.Sscan(row[3], &n); err != nil {
+			t.Fatalf("bad wins cell %q: %v", row[3], err)
+		}
+		total += n
+	}
+	if total != seeds {
+		t.Fatalf("wins sum to %d, want %d", total, seeds)
+	}
+}
+
+// TestBindSweepDefaultScale: a suite built with the documented zero
+// default (NewSuite(0) → run-time scale 64) must sweep without
+// panicking in the table layer.
+func TestBindSweepDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 default-scale cells")
+	}
+	tab := BindSweep(NewSuite(0), "swaptions")
+	if len(tab.Rows) != 8 {
+		t.Fatalf("bind sweep has %d rows, want 8", len(tab.Rows))
+	}
+}
+
+// TestSeedSweepReusesCallerSuite: the first seed is the caller's own,
+// so it must be served from the suite's cache — a prior PolicySweep
+// makes its cells pure hits. Seed 0 (the documented default, which
+// cellSeed normalizes to 1) must reuse too.
+func TestSeedSweepReusesCallerSuite(t *testing.T) {
+	for _, seed := range []uint64{7, 0} {
+		s := NewSuiteParallel(256, 0)
+		s.Opt.Seed = seed
+		PolicySweep(s, "swaptions")
+		before := s.CellsComputed()
+		SeedSweep(s, "swaptions", 1)
+		if got := s.CellsComputed(); got != before {
+			t.Fatalf("seed %d: seed sweep recomputed %d cells the suite already held", seed, got-before)
+		}
+	}
+}

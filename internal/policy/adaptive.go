@@ -1,0 +1,213 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/numa"
+	"repro/internal/pt"
+)
+
+// The adaptive policy is the in-hypervisor form of the paper's §3.5.2
+// advisor rule. The paper derives the rule from a cheap profiling run —
+// measure the placement behaviour, then commit to a policy — and closes
+// by noting that automatic selection inside the hypervisor remains open
+// (§7). This policy runs the probe inside the hypervisor itself: it
+// starts placing like least-loaded (spreading by free memory, a safe
+// default on an empty machine) while measuring the imbalance of its own
+// placements, and once that imbalance is stable across consecutive
+// fault windows it replaces itself with first-touch through the same
+// HypercallSetPolicy entry point a guest would use, so the switch is
+// observable (trace event, hypercall counters) like any external one.
+
+const (
+	// adaptiveWindow is the number of resolved faults between imbalance
+	// checks of the probe phase.
+	adaptiveWindow = 256
+	// adaptiveStableDelta is the largest change, in percentage points of
+	// relative standard deviation, between two consecutive windows'
+	// placement imbalance still considered "stable".
+	adaptiveStableDelta = 10.0
+	// adaptiveMinChecks is the number of windows the probe must observe
+	// before it may declare stability (the first window has nothing to
+	// compare against).
+	adaptiveMinChecks = 2
+)
+
+// registerAdaptive is called from builtin.go's init so the adaptive
+// policy registers after the paper's three static policies (their
+// registration indices are the stable trace ids 0/1/2).
+func registerAdaptive() {
+	Register(Descriptor{
+		Name:    "adaptive",
+		Aliases: []string{"ad"},
+		Abbrev:  "AD",
+		Fault:   "probes least-loaded, switches itself to first-touch once imbalance stabilizes",
+		// Carrefour may stack: the probe phase benefits from it exactly
+		// like least-loaded does, and it survives the internal switch.
+		Carrefour: true,
+		// The first-touch phase consumes release notifications, so the
+		// queue must be active from boot (and passthrough off, §4.4.1).
+		UsesPageQueue: true,
+		New:           func(_ string, nodes int) (Policy, error) { return newAdaptive(nodes), nil },
+		Native: func(_ string, nodes int) (NativePlacer, error) {
+			return &nativeAdaptive{ll: nativeLeastLoaded{nodes: nodes}}, nil
+		},
+	})
+}
+
+// adaptivePolicy probes with least-loaded placement, measures the
+// imbalance of its own placements every adaptiveWindow faults, and
+// switches the domain to first-touch once two consecutive windows agree
+// (PolicySwitcher). If the domain does not expose the switch hypercall,
+// or the switch is rejected, it degrades to first-touch behaviour in
+// place.
+type adaptivePolicy struct {
+	probe leastLoaded // probe-phase placement
+	ft    firstTouch  // page-queue reconciliation + post-switch fallback
+
+	window    int
+	delta     float64
+	minChecks int
+
+	// placed histograms the *current window's* placements only: the
+	// stability test must compare windows against each other, not a
+	// cumulative histogram (whose imbalance converges by construction
+	// as 1/n even while per-window placement still swings). It is
+	// presized to the machine's node count — windows must be compared
+	// over histograms of the same length, or a window concentrated on
+	// low node ids reads as balanced.
+	placed   []float64
+	faults   int
+	checks   int
+	prevImb  float64
+	switched bool
+}
+
+// newAdaptive builds the policy for a machine with nodes nodes
+// (<= 0 when unknown: the histogram then grows to the highest node
+// actually touched).
+func newAdaptive(nodes int) *adaptivePolicy {
+	p := &adaptivePolicy{
+		window:    adaptiveWindow,
+		delta:     adaptiveStableDelta,
+		minChecks: adaptiveMinChecks,
+	}
+	if nodes > 0 {
+		p.placed = make([]float64, nodes)
+	}
+	return p
+}
+
+func (p *adaptivePolicy) Kind() Kind { return Adaptive }
+
+func (p *adaptivePolicy) HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID, kind pt.FaultKind) {
+	if kind == pt.FaultWriteProtected {
+		d.Table().Unprotect(pfn)
+		return
+	}
+	if p.switched {
+		// Still installed after deciding to switch: the domain has no
+		// PolicySwitcher (or rejected the hypercall); behave like the
+		// successor.
+		p.ft.HandleFault(d, pfn, accessor, kind)
+		return
+	}
+	p.probe.HandleFault(d, pfn, accessor, kind)
+	p.recordPlacement(d, pfn)
+	if p.stable() {
+		p.switchToFirstTouch(d)
+	}
+}
+
+// OnPageQueue reconciles exactly like first-touch (§4.2.4) in both
+// phases: releases invalidate, so during the probe a released page
+// refaults into least-loaded placement instead of keeping a stale home.
+func (p *adaptivePolicy) OnPageQueue(d DomainOps, ops []PageOp) int {
+	return p.ft.OnPageQueue(d, ops)
+}
+
+// recordPlacement histograms where the probe's fault landed.
+func (p *adaptivePolicy) recordPlacement(d DomainOps, pfn mem.PFN) {
+	e := d.Table().Lookup(pfn)
+	if !e.Valid {
+		return
+	}
+	node := d.NodeOfFrame(e.MFN)
+	for int(node) >= len(p.placed) {
+		p.placed = append(p.placed, 0)
+	}
+	p.placed[node]++
+	p.faults++
+}
+
+// stable reports whether the probe phase just completed a window whose
+// placement imbalance moved less than delta percentage points since
+// the previous window's. Each window is measured on its own histogram.
+func (p *adaptivePolicy) stable() bool {
+	if p.faults == 0 || p.faults%p.window != 0 {
+		return false
+	}
+	imb := metrics.RelStdDev(p.placed)
+	for i := range p.placed {
+		p.placed[i] = 0
+	}
+	p.checks++
+	ok := p.checks >= p.minChecks && math.Abs(imb-p.prevImb) <= p.delta
+	p.prevImb = imb
+	return ok
+}
+
+// switchToFirstTouch installs first-touch through the external
+// interface, keeping the domain's Carrefour stacking.
+func (p *adaptivePolicy) switchToFirstTouch(d DomainOps) {
+	p.switched = true
+	sw, ok := d.(PolicySwitcher)
+	if !ok {
+		return
+	}
+	cfg := sw.Policy()
+	cfg.Static = FirstTouch
+	// A rejected switch leaves the domain untouched (the hypercall's
+	// contract); p.switched keeps this policy behaving like first-touch
+	// in place, so the decision still takes effect.
+	_, _ = sw.HypercallSetPolicy(cfg)
+}
+
+// nativeAdaptive mirrors the adaptive policy for the native backend:
+// least-loaded placement while the per-window histogram of its own
+// placements settles, first-touch afterwards. Linux has no
+// policy-switch hypercall, so the phase change is internal.
+type nativeAdaptive struct {
+	ll       nativeLeastLoaded
+	placed   []float64 // current window's placements, reset per check
+	count    int
+	checks   int
+	prevImb  float64
+	switched bool
+}
+
+func (p *nativeAdaptive) PlaceNode(toucher numa.NodeID, free func(numa.NodeID) int64) numa.NodeID {
+	if p.switched {
+		return toucher
+	}
+	n := p.ll.PlaceNode(toucher, free)
+	if p.placed == nil {
+		p.placed = make([]float64, p.ll.nodes)
+	}
+	p.placed[n]++
+	p.count++
+	if p.count%adaptiveWindow == 0 {
+		imb := metrics.RelStdDev(p.placed)
+		for i := range p.placed {
+			p.placed[i] = 0
+		}
+		p.checks++
+		if p.checks >= adaptiveMinChecks && math.Abs(imb-p.prevImb) <= adaptiveStableDelta {
+			p.switched = true
+		}
+		p.prevImb = imb
+	}
+	return n
+}

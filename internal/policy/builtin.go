@@ -11,9 +11,10 @@ import (
 
 // The built-in policies. The first three registrations are the paper's
 // static policies and keep registration indices 0/1/2 (the ids recorded
-// in policy-switch trace events); the next three prove the registry is
-// open: they run end-to-end under both Xen and native Linux without any
-// layer outside this package switching on their kinds.
+// in policy-switch trace events); the later registrations prove the
+// registry is open: interleave, bind:<node>, least-loaded and adaptive
+// run end-to-end under both Xen and native Linux without any layer
+// outside this package switching on their kinds.
 func init() {
 	Register(Descriptor{
 		Name:       "round-1G",
@@ -95,6 +96,7 @@ func init() {
 			return nativeLeastLoaded{nodes: nodes}, nil
 		},
 	})
+	registerAdaptive()
 }
 
 // --- eager boot placement (BootPlacer hooks) ---

@@ -32,6 +32,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/numa"
 	"repro/internal/pt"
+	"repro/internal/sim"
 )
 
 // Kind names a registered placement policy. It is an open string, not a
@@ -60,6 +61,11 @@ const (
 	// LeastLoaded allocates each faulted page on the home node with the
 	// most free machine memory at fault time.
 	LeastLoaded Kind = "least-loaded"
+	// Adaptive is the in-hypervisor form of the paper's §3.5.2 advisor
+	// rule: probe with least-loaded placement, then switch the domain
+	// to first-touch through HypercallSetPolicy once the placement
+	// imbalance stabilizes.
+	Adaptive Kind = "adaptive"
 )
 
 // Bind returns the kind of the preferred-node policy for node: every
@@ -71,19 +77,48 @@ func Bind(node numa.NodeID) Kind {
 
 func (k Kind) String() string { return string(k) }
 
+// Canonical Carrefour variant names (Config.CarrefourVariant): the
+// heuristic subsets the paper's §7 proposes as ablation knobs. The
+// empty string is the full policy.
+const (
+	CarrefourFull            = ""
+	CarrefourMigrationOnly   = "migration"
+	CarrefourReplicationOnly = "replication"
+)
+
+// ValidCarrefourVariant reports whether v is a canonical Carrefour
+// variant name.
+func ValidCarrefourVariant(v string) bool {
+	switch v {
+	case CarrefourFull, CarrefourMigrationOnly, CarrefourReplicationOnly:
+		return true
+	}
+	return false
+}
+
 // Config selects a static policy and optionally stacks the dynamic
 // Carrefour policy on top, matching the combinations the paper
-// evaluates.
+// evaluates; CarrefourVariant further restricts Carrefour to one of
+// its heuristics (§7's ablation knobs).
 type Config struct {
 	Static    Kind
 	Carrefour bool
+	// CarrefourVariant selects a heuristic subset when Carrefour is
+	// stacked: "" (full), CarrefourMigrationOnly (locality migration
+	// only) or CarrefourReplicationOnly (replication only). It must be
+	// empty when Carrefour is false.
+	CarrefourVariant string
 }
 
 func (c Config) String() string {
+	s := c.Static.String()
 	if c.Carrefour {
-		return c.Static.String() + "/carrefour"
+		s += "/carrefour"
+		if c.CarrefourVariant != "" {
+			s += ":" + c.CarrefourVariant
+		}
 	}
-	return c.Static.String()
+	return s
 }
 
 // Hypercall numbers of the external interface.
@@ -184,6 +219,20 @@ type BootPlacer func(b BootOps) error
 // allocation with Linux's round-robin fallback.
 type NativePlacer interface {
 	PlaceNode(toucher numa.NodeID, free func(numa.NodeID) int64) numa.NodeID
+}
+
+// PolicySwitcher is the optional DomainOps extension exposing the
+// external interface's SetPolicy hypercall (§4.2.1) to in-hypervisor
+// callers: the active policy configuration and the entry point to
+// replace it. Package xen's Domain implements it; a policy that decides
+// it is no longer the right one (adaptive) uses it to install its
+// successor through exactly the path a guest would.
+type PolicySwitcher interface {
+	// Policy returns the domain's active configuration.
+	Policy() Config
+	// HypercallSetPolicy switches the static policy and/or Carrefour
+	// stacking, returning the hypercall cost.
+	HypercallSetPolicy(cfg Config) (sim.Time, error)
 }
 
 // Policy is a hypervisor-resident NUMA placement policy for one domain.

@@ -65,6 +65,19 @@ type Descriptor struct {
 	index int
 }
 
+// DefaultSpelling returns the descriptor's suite-ready lowercase
+// spelling, parameterized kinds instantiated with their default
+// argument ("round-4k", "bind:0"). Sweeps, candidate sets and policy
+// listings all derive their cache-key spellings from it, so they agree
+// on what "one cell per registered policy" means.
+func (d Descriptor) DefaultSpelling() string {
+	name := strings.ToLower(d.Name)
+	if d.Parameterized {
+		name += ":" + d.DefaultArg
+	}
+	return name
+}
+
 // Registry maps stable string names to policy Descriptors. The zero
 // value is not usable; call NewRegistry. Registration is expected at
 // init time; lookups afterwards are read-only and safe for concurrent
@@ -215,6 +228,12 @@ func CheckConfig(cfg Config) error {
 	if cfg.Carrefour && !d.Carrefour {
 		return fmt.Errorf("policy: carrefour cannot stack on %s", d.Name)
 	}
+	if !ValidCarrefourVariant(cfg.CarrefourVariant) {
+		return fmt.Errorf("policy: unknown carrefour variant %q", cfg.CarrefourVariant)
+	}
+	if cfg.CarrefourVariant != "" && !cfg.Carrefour {
+		return fmt.Errorf("policy: carrefour variant %q without carrefour", cfg.CarrefourVariant)
+	}
 	return nil
 }
 
@@ -227,14 +246,22 @@ func IndexOf(kind Kind) int { return Default.IndexOf(kind) }
 
 // Parse parses a policy configuration string: a registered kind in any
 // case or alias spelling, optionally suffixed "/carrefour" (e.g.
-// "round-4k/carrefour", "ft", "bind:3"). The returned Config carries
-// the canonical kind, so Parse(cfg.String()) round-trips.
+// "round-4k/carrefour", "ft", "bind:3"), itself optionally carrying a
+// heuristic variant ("/carrefour:migration", "/carrefour:replication",
+// with "mig"/"repl" accepted as shorthands). The returned Config
+// carries the canonical kind and variant, so Parse(cfg.String())
+// round-trips.
 func Parse(s string) (Config, error) {
 	var cfg Config
 	name := strings.ToLower(strings.TrimSpace(s))
-	if rest, ok := strings.CutSuffix(name, "/carrefour"); ok {
+	if base, suffix, ok := strings.Cut(name, "/"); ok {
+		variant, err := parseCarrefourSuffix(suffix)
+		if err != nil {
+			return Config{}, err
+		}
 		cfg.Carrefour = true
-		name = rest
+		cfg.CarrefourVariant = variant
+		name = base
 	}
 	d, _, canon, err := Resolve(Kind(name))
 	if err != nil {
@@ -245,4 +272,28 @@ func Parse(s string) (Config, error) {
 	}
 	cfg.Static = canon
 	return cfg, nil
+}
+
+// parseCarrefourSuffix canonicalizes the text after the "/" of a policy
+// string: "carrefour" or "carrefour:<variant>".
+func parseCarrefourSuffix(suffix string) (string, error) {
+	rest, ok := strings.CutPrefix(suffix, "carrefour")
+	if !ok {
+		return "", fmt.Errorf("policy: unknown suffix %q (want /carrefour[:variant])", suffix)
+	}
+	if rest == "" {
+		return CarrefourFull, nil
+	}
+	variant, ok := strings.CutPrefix(rest, ":")
+	if !ok {
+		return "", fmt.Errorf("policy: unknown suffix %q (want /carrefour[:variant])", suffix)
+	}
+	switch variant {
+	case "migration", "mig":
+		return CarrefourMigrationOnly, nil
+	case "replication", "repl":
+		return CarrefourReplicationOnly, nil
+	default:
+		return "", fmt.Errorf("policy: unknown carrefour variant %q (want migration or replication)", variant)
+	}
 }

@@ -120,7 +120,9 @@ func TestParseRoundTrip(t *testing.T) {
 		}
 		variants := []string{name}
 		if d.Carrefour {
-			variants = append(variants, name+"/carrefour")
+			variants = append(variants, name+"/carrefour",
+				name+"/carrefour:migration", name+"/carrefour:mig",
+				name+"/carrefour:replication", name+"/carrefour:repl")
 		}
 		for _, v := range variants {
 			cfg, err := Parse(v)
@@ -237,6 +239,32 @@ func TestLeastLoadedFaultsOnFreestHome(t *testing.T) {
 		p.HandleFault(d, mem.PFN(i), 3, pt.FaultNotPresent)
 		if n := d.NodeOfFrame(d.table.Lookup(mem.PFN(i)).MFN); n != w {
 			t.Fatalf("fault %d on node %d, want %d (free %v)", i, n, w, d.free)
+		}
+	}
+}
+
+func TestParseRejectsBadCarrefourSuffix(t *testing.T) {
+	for _, s := range []string{
+		"round-4k/carrefour:nosuch", "round-4k/nosuch",
+		"round-4k/carrefour:", "bind:2/carrefour:migration",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestCheckConfigVariants(t *testing.T) {
+	ok := Config{Static: Round4K, Carrefour: true, CarrefourVariant: CarrefourMigrationOnly}
+	if err := CheckConfig(ok); err != nil {
+		t.Fatalf("valid variant rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{Static: Round4K, Carrefour: true, CarrefourVariant: "nosuch"},
+		{Static: Round4K, CarrefourVariant: CarrefourMigrationOnly}, // variant without carrefour
+	} {
+		if err := CheckConfig(bad); err == nil {
+			t.Errorf("CheckConfig(%+v) accepted", bad)
 		}
 	}
 }

@@ -5,7 +5,9 @@
 // Nothing in this package (or in any package built on it) reads the wall
 // clock; all time is virtual and advances only through Engine.Step or
 // Engine.Run. Two runs with the same seed and the same event sequence are
-// bit-identical.
+// bit-identical — the property that lets the paper's evaluation (§5) be
+// regenerated reproducibly and the golden engine fixture hold
+// bit-for-bit.
 package sim
 
 import (

@@ -1,8 +1,10 @@
 // Package trace provides a lightweight structured event ring used to
-// observe the simulated stack: hypercalls, page faults, migrations,
-// policy switches and Carrefour decisions. Tracing is off unless a Ring
-// is attached, and recording is allocation-free once the ring is built,
-// so it can stay enabled in benchmarks.
+// observe the simulated stack: the events mirror the paper's mechanisms
+// — the two hypercalls of the external interface (§4.2), page faults
+// and migrations of the internal interface (§4.1), policy switches and
+// Carrefour decisions (§4.3). Tracing is off unless a Ring is attached,
+// and recording is allocation-free once the ring is built, so it can
+// stay enabled in benchmarks.
 package trace
 
 import (

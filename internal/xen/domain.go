@@ -308,6 +308,12 @@ func (d *Domain) NodeOfPCPU(v int) numa.NodeID {
 // target policy is resolved through the registry; boot-only layouts
 // (round-1G) are rejected at run time, as in the paper. The returned
 // duration is the cost charged to the calling vCPU.
+//
+// The Carrefour fields (on/off and variant) recorded here are the
+// domain's guest-visible configuration; the simulation's Carrefour
+// controller itself is configured per engine.Instance at build time,
+// so — like toggling Carrefour — changing the variant mid-run updates
+// Policy() and traces but not an already-running engine's sampler.
 func (d *Domain) HypercallSetPolicy(cfg policy.Config) (sim.Time, error) {
 	cost := CostHypercall
 	d.Hypercalls++
@@ -322,8 +328,10 @@ func (d *Domain) HypercallSetPolicy(cfg policy.Config) (sim.Time, error) {
 	if desc.BootOnly && d.bootKind != cfg.Static {
 		return cost, fmt.Errorf("xen: %s is a boot option, not a runtime policy (§4.2.1)", cfg.Static)
 	}
-	if cfg.Carrefour && !desc.Carrefour {
-		return cost, fmt.Errorf("xen: carrefour cannot stack on %s", desc.Name)
+	// Config-shape rules (Carrefour stackability, variant validity) are
+	// the registry's; only the boot-kind check above is domain-specific.
+	if err := policy.CheckConfig(cfg); err != nil {
+		return cost, fmt.Errorf("xen: %w", err)
 	}
 	// Build the new policy before any state changes: a rejected switch
 	// must leave the domain untouched (in particular its passthrough

@@ -195,3 +195,36 @@ func TestDefaultBootIsRound1G(t *testing.T) {
 		t.Fatal("round-1G default boot did not populate eagerly")
 	}
 }
+
+// TestAdaptiveDomainSwitchesToFirstTouch: a domain booted with the
+// adaptive policy probes least-loaded placement, then — once its
+// placement imbalance stabilizes — replaces itself with first-touch
+// through HypercallSetPolicy, so the switch is observable on the
+// domain exactly like a guest-initiated one (config change, hypercall
+// counter, later touches placed on the accessor's node).
+func TestAdaptiveDomainSwitchesToFirstTouch(t *testing.T) {
+	_, d := lazyDomain(t, policy.Adaptive)
+	if d.Policy().Static != policy.Adaptive {
+		t.Fatalf("boot policy = %v, want adaptive", d.Policy().Static)
+	}
+	// Stack Carrefour at run time; the internal switch must preserve it.
+	if _, err := d.HypercallSetPolicy(policy.Config{Static: policy.Adaptive, Carrefour: true}); err != nil {
+		t.Fatal(err)
+	}
+	hcBefore := d.Hypercalls
+	// Two fault windows with even least-loaded spreading stabilize the
+	// probe; touch enough distinct pages from one node to get there.
+	touchDist(d, 600, 1)
+	if got := d.Policy(); got.Static != policy.FirstTouch || !got.Carrefour {
+		t.Fatalf("policy after probe = %+v, want first-touch with carrefour", got)
+	}
+	if d.Hypercalls == hcBefore {
+		t.Fatal("switch did not go through the hypercall path")
+	}
+	// Post-switch touches run the installed first-touch policy: pages
+	// land on the accessor's node.
+	node, _ := d.Touch(700, 3, true)
+	if node != 3 {
+		t.Fatalf("post-switch touch placed on node %d, want 3", node)
+	}
+}

@@ -17,6 +17,7 @@ package xennuma
 import (
 	"fmt"
 
+	"repro/internal/carrefour"
 	"repro/internal/engine"
 	"repro/internal/guest"
 	"repro/internal/linux"
@@ -36,10 +37,25 @@ type Result = engine.Result
 
 // ParsePolicy parses any policy registered in internal/policy —
 // "round-1g", "round-4k", "first-touch", "interleave", "bind:<node>",
-// "least-loaded", … — optionally suffixed with "/carrefour" (e.g.
-// "round-4k/carrefour") for policies Carrefour may stack on. Run
-// `xnuma policies` for the full registry.
+// "least-loaded", "adaptive", … — optionally suffixed with "/carrefour"
+// (e.g. "round-4k/carrefour") for policies Carrefour may stack on, with
+// an optional heuristic variant ("/carrefour:migration",
+// "/carrefour:replication", §7). Run `xnuma policies` for the full
+// registry.
 func ParsePolicy(s string) (Policy, error) { return policy.Parse(s) }
+
+// carrefourMode maps a policy configuration's Carrefour variant to the
+// engine's controller mode.
+func carrefourMode(pol Policy) carrefour.Mode {
+	switch pol.CarrefourVariant {
+	case policy.CarrefourMigrationOnly:
+		return carrefour.ModeMigrationOnly
+	case policy.CarrefourReplicationOnly:
+		return carrefour.ModeReplicationOnly
+	default:
+		return carrefour.ModeFull
+	}
+}
 
 // MustPolicy is ParsePolicy that panics on error, for literals.
 func MustPolicy(s string) Policy {
@@ -154,12 +170,13 @@ func RunLinux(app string, pol Policy, o Options) (Result, error) {
 		return Result{}, err
 	}
 	inst := &engine.Instance{
-		Prof:       prof,
-		Backend:    b,
-		NThreads:   o.Threads,
-		Carrefour:  pol.Carrefour,
-		MCS:        o.MCS && prof.UsesPthreadSync,
-		LargePages: o.LargePages,
+		Prof:          prof,
+		Backend:       b,
+		NThreads:      o.Threads,
+		Carrefour:     pol.Carrefour,
+		CarrefourMode: carrefourMode(pol),
+		MCS:           o.MCS && prof.UsesPthreadSync,
+		LargePages:    o.LargePages,
 	}
 	cfg := engineConfig(topo, o)
 	res, err := engine.Run(cfg, inst)
@@ -299,12 +316,13 @@ func buildXenInstance(hv *xen.Hypervisor, topo *numa.Topology, prof workload.Pro
 		return nil, err
 	}
 	return &engine.Instance{
-		Prof:       prof,
-		Backend:    b,
-		NThreads:   o.Threads,
-		Carrefour:  pol.Carrefour,
-		MCS:        o.XenPlus && prof.UsesPthreadSync,
-		LargePages: o.LargePages,
+		Prof:          prof,
+		Backend:       b,
+		NThreads:      o.Threads,
+		Carrefour:     pol.Carrefour,
+		CarrefourMode: carrefourMode(pol),
+		MCS:           o.XenPlus && prof.UsesPthreadSync,
+		LargePages:    o.LargePages,
 	}, nil
 }
 
