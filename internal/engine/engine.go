@@ -3,11 +3,14 @@
 //
 // Execution is epoch-based: at the top of each epoch every instance
 // rebuilds its access-stream table (streams.go) — the single
-// enumeration of who accesses what at which weight — then each runnable
-// thread issues memory accesses along those streams; the resulting
-// per-controller and per-link loads feed the latency model, which in
-// turn paces thread progress. Four damped fixed-point iterations per
-// epoch make rates and latencies self-consistent. All placement happens
+// enumeration of who accesses what at which weight — and folds it into
+// one node row per thread; each runnable thread then issues memory
+// accesses along its row, and the resulting per-controller and
+// per-link loads feed the latency model, which in turn paces thread
+// progress. Four damped fixed-point iterations per epoch make rates
+// and latencies self-consistent; they walk threads × nodes only (the
+// stream dimension is folded out, placement being frozen within an
+// epoch). All placement happens
 // through real page-table and allocator operations in the backend, so
 // the policies' mechanisms (not just their statistics) are exercised.
 // The loop's outputs are the measurements the paper's evaluation
@@ -318,9 +321,12 @@ type Instance struct {
 
 	// streamTab is the epoch's access-stream table, rebuilt by
 	// refreshStreams at the top of every epoch; distAll is the scratch
-	// buffer backing its cross-slice combined distribution.
+	// buffer backing its cross-slice combined distribution; rows is the
+	// table folded into one node row per thread (foldRows), the only
+	// view the fixed-point iterations read.
 	streamTab streamTable
 	distAll   []float64
+	rows      []float64
 
 	// burst state (Carrefour-misleading temporary remote accesses).
 	burstLeft   int

@@ -220,6 +220,59 @@ func TestStreamTableRefresh(t *testing.T) {
 	}
 }
 
+// TestFoldRowsMatchesStreams: the per-thread node rows the fixed-point
+// loop consumes must equal the brute-force fold of the stream table
+// (Σ_s weight·share per node, replicated streams landing on the
+// thread's own node), and the backing buffer must be reused.
+func TestFoldRowsMatchesStreams(t *testing.T) {
+	topo := numa.AMD48Scaled(64)
+	in := &Instance{Prof: testProfile(), Backend: newStub(topo, true), NThreads: 4}
+	r := &runner{cfg: testConfig(topo), insts: []*Instance{in}, rand: sim.NewRand(1)}
+	if err := r.setup(); err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		t.Helper()
+		nn := topo.NumNodes()
+		for _, th := range in.Threads {
+			want := make([]float64, nn)
+			for si := range in.streamTab.streams {
+				s := &in.streamTab.streams[si]
+				if s.weight <= 0 {
+					continue
+				}
+				if s.local {
+					want[th.Node] += s.weight
+					continue
+				}
+				for n, share := range s.distFor(th) {
+					if share > 0 {
+						want[n] += s.weight * share
+					}
+				}
+			}
+			row := in.row(th.ID, nn)
+			for n := range want {
+				if d := row[n] - want[n]; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("thread %d row[%d] = %v, want %v", th.ID, n, row[n], want[n])
+				}
+			}
+		}
+	}
+	in.refreshStreams()
+	check()
+	// Replication redirects the hot stream into the thread's own node.
+	in.hot.Replicate()
+	in.refreshStreams()
+	check()
+	// The fold reuses its buffer: no growth across epochs.
+	before := cap(in.rows)
+	in.refreshStreams()
+	if cap(in.rows) != before {
+		t.Fatal("foldRows reallocated the row buffer")
+	}
+}
+
 func TestCombinedDistWeightsByPageCount(t *testing.T) {
 	// Two slices of very different sizes: the combined distribution must
 	// be dominated by the larger one, not an unweighted average.

@@ -99,10 +99,17 @@ type runner struct {
 	// epoch, recorded during the final fill.
 	units [][]float64
 
+	// Run-constant node geometry, hoisted out of the fixed-point loop:
+	// nNodes is the node count and hops[src*nNodes+dst] the interconnect
+	// hop count (Topo.Distance never changes during a run).
+	nNodes int
+	hops   []int
+
 	// Scratch buffers, reused so steady-state epochs allocate nothing.
 	ioTarget  [1]numa.NodeID   // single-node DMA target of ioFactor
 	movePairs [][2]numa.NodeID // sorted pendingMoveBytes keys
 	tickUtil  []float64        // controller-utilization copy for Carrefour ticks
+	cycles    []float64        // per-(src,dst) access cost, filled each iteration
 }
 
 func (r *runner) setup() error {
@@ -110,6 +117,14 @@ func (r *runner) setup() error {
 	n := r.cfg.Topo.NumNodes()
 	r.load = metrics.NewEpochLoad(r.cfg.Topo, epochSec, r.cfg.CtrlBWBps)
 	r.ctrlUtil = make([]float64, n)
+	r.nNodes = n
+	r.hops = make([]int, n*n)
+	r.cycles = make([]float64, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			r.hops[src*n+dst] = r.cfg.Topo.Distance(numa.NodeID(src), numa.NodeID(dst))
+		}
+	}
 	for _, in := range r.insts {
 		if err := in.Prof.Validate(); err != nil {
 			return err
@@ -322,12 +337,14 @@ func (r *runner) allDone() bool {
 }
 
 // fillLoads recomputes the epoch's traffic from current latency
-// estimates by walking each live instance's stream table. When record is
-// true, per-thread work units are captured for the progress step and
+// estimates by walking each live thread's folded node row (the stream
+// table collapsed by foldRows — streams never appear here). When record
+// is true, per-thread work units are captured for the progress step and
 // per-instance loads are filled.
 func (r *runner) fillLoads(record bool) {
 	r.load.Reset()
 	epochNs := float64(r.cfg.Epoch)
+	nn := r.nNodes
 	for i, in := range r.insts {
 		il := r.instLoads[i]
 		if record {
@@ -338,7 +355,6 @@ func (r *runner) fillLoads(record bool) {
 		}
 		ioFactor := r.ioFactor(in, record, il)
 		overhead := r.overheadFrac(in)
-		streams := in.streamTab.streams
 		var totalMisses float64
 		for ti, t := range in.Threads {
 			if t.Done {
@@ -355,28 +371,14 @@ func (r *runner) fillLoads(record bool) {
 				r.units[i][ti] = units
 			}
 			totalMisses += units
-			for si := range streams {
-				s := &streams[si]
-				if s.weight <= 0 {
+			for n, share := range in.row(t.ID, nn) {
+				if share <= 0 {
 					continue
 				}
-				if s.local {
-					// Replicated pages have a local copy on every node.
-					r.load.AddAccesses(t.Node, t.Node, units*s.weight)
-					if record {
-						il.AddAccesses(t.Node, t.Node, units*s.weight)
-					}
-					continue
-				}
-				for n, share := range s.distFor(t) {
-					if share <= 0 {
-						continue
-					}
-					cnt := units * s.weight * share
-					r.load.AddAccesses(t.Node, numa.NodeID(n), cnt)
-					if record {
-						il.AddAccesses(t.Node, numa.NodeID(n), cnt)
-					}
+				cnt := units * share
+				r.load.AddAccesses(t.Node, numa.NodeID(n), cnt)
+				if record {
+					il.AddAccesses(t.Node, numa.NodeID(n), cnt)
 				}
 			}
 		}
@@ -465,41 +467,34 @@ func (r *runner) overheadFrac(in *Instance) float64 {
 }
 
 // updateLatencies recomputes each thread's average memory access latency
-// from the current loads, walking the same stream table fillLoads emits
-// from.
+// from the current loads. The access cost depends only on the (src, dst)
+// node pair — hop count, destination controller utilization, worst link
+// on the route — so it is filled once per iteration into an nNodes²
+// matrix; each thread then reduces its folded node row against its
+// source node's cost row instead of re-deriving the cost per stream.
 func (r *runner) updateLatencies() {
 	lm := r.cfg.Topo.Latency
 	r.load.FillCtrlUtil(r.ctrlUtil)
+	nn := r.nNodes
+	for src := 0; src < nn; src++ {
+		for dst := 0; dst < nn; dst++ {
+			link := r.load.PathLinkUtil(numa.NodeID(src), numa.NodeID(dst))
+			r.cycles[src*nn+dst] = lm.AccessCycles(r.hops[src*nn+dst], r.ctrlUtil[dst], link)
+		}
+	}
 	for _, in := range r.insts {
 		if in.done {
 			continue
 		}
-		streams := in.streamTab.streams
 		for _, t := range in.Threads {
 			if t.Done {
 				continue
 			}
+			costs := r.cycles[int(t.Node)*nn : (int(t.Node)+1)*nn]
 			var cyc float64
-			for si := range streams {
-				s := &streams[si]
-				if s.weight <= 0 {
-					continue
-				}
-				if s.local {
-					// Replicated pages: the whole stream is a local
-					// access on the issuing thread's node.
-					hops := r.cfg.Topo.Distance(t.Node, t.Node)
-					link := r.load.PathLinkUtil(t.Node, t.Node)
-					cyc += s.weight * lm.AccessCycles(hops, r.ctrlUtil[t.Node], link)
-					continue
-				}
-				for n, share := range s.distFor(t) {
-					if share <= 0 {
-						continue
-					}
-					hops := r.cfg.Topo.Distance(t.Node, numa.NodeID(n))
-					link := r.load.PathLinkUtil(t.Node, numa.NodeID(n))
-					cyc += s.weight * share * lm.AccessCycles(hops, r.ctrlUtil[n], link)
+			for n, share := range in.row(t.ID, nn) {
+				if share > 0 {
+					cyc += share * costs[n]
 				}
 			}
 			if r.cfg.TLB != nil {

@@ -6,6 +6,10 @@ package engine
 // and the Carrefour sampler's region view). Adding a new stream kind
 // means adding one table entry here, not editing three loops in
 // lockstep.
+//
+// Because placement only mutates between epochs, the table is also
+// folded once per epoch into per-thread node rows (foldRows): the
+// damped fixed-point iterations then walk nodes only, never streams.
 
 // streamKind identifies one of the instance's access streams.
 type streamKind int
@@ -100,6 +104,51 @@ func (in *Instance) refreshStreams() {
 		stream{kind: streamDistOwn, weight: t.wDist * (1 - t.cross), perThread: in.dist},
 		stream{kind: streamDistCross, weight: t.wDist * t.cross, dist: in.distAll},
 	)
+	in.foldRows()
+}
+
+// foldRows collapses the stream table into one node row per thread:
+// row[n] is the fraction of the thread's misses that land on node n this
+// epoch (Σ_s weight_s · share_s[n], with replicated streams folding into
+// the thread's own node). The fixed-point iterations consume only these
+// rows — the stream dimension is gone from the hot loop. The backing
+// buffer is reused across epochs, so steady state allocates nothing.
+func (in *Instance) foldRows() {
+	nn := in.hot.nNodes
+	if cap(in.rows) < in.NThreads*nn {
+		in.rows = make([]float64, in.NThreads*nn)
+	}
+	in.rows = in.rows[:in.NThreads*nn]
+	t := &in.streamTab
+	for _, th := range in.Threads {
+		if th.Done {
+			continue
+		}
+		row := in.rows[th.ID*nn : (th.ID+1)*nn]
+		for n := range row {
+			row[n] = 0
+		}
+		for si := range t.streams {
+			s := &t.streams[si]
+			if s.weight <= 0 {
+				continue
+			}
+			if s.local {
+				row[th.Node] += s.weight
+				continue
+			}
+			for n, share := range s.distFor(th) {
+				if share > 0 {
+					row[n] += s.weight * share
+				}
+			}
+		}
+	}
+}
+
+// row returns thread id's folded node row for the current epoch.
+func (in *Instance) row(id, nNodes int) []float64 {
+	return in.rows[id*nNodes : (id+1)*nNodes]
 }
 
 // combinedDist averages the placement distributions of a region group,
