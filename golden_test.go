@@ -3,6 +3,7 @@ package xennuma
 import (
 	"encoding/json"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -94,5 +95,58 @@ func TestGoldenEngineResults(t *testing.T) {
 			t.Errorf("result %d (%s on %s) diverged from golden:\n got  %+v\n want %+v",
 				i, got[i].App, got[i].Backend, got[i], want[i])
 		}
+	}
+}
+
+// TestGoldenDriftVsPreRowFold bounds the fixture regeneration that came
+// with folding the stream table into per-thread node rows (the folded
+// accumulation order differs from the per-stream walk, so float sums
+// drift at the last bit). The pre-fold fixture is frozen as
+// golden_engine_prerowfold.json; every numeric field of the live fixture
+// must stay within a 1e-6 relative drift of it, proving the regeneration
+// absorbed rounding noise and not a behaviour change (integer fields —
+// completion times, migration counts — must not move at all by this
+// bound, since their values are ≫ 1e6).
+func TestGoldenDriftVsPreRowFold(t *testing.T) {
+	load := func(name string) []goldenResult {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []goldenResult
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cur, old := load("golden_engine.json"), load("golden_engine_prerowfold.json")
+	if len(cur) != len(old) {
+		t.Fatalf("fixture has %d results, pre-fold snapshot has %d", len(cur), len(old))
+	}
+	const tol = 1e-6
+	check := func(i int, field string, a, b float64) {
+		t.Helper()
+		if a == b {
+			return
+		}
+		denom := math.Max(math.Abs(a), math.Abs(b))
+		if drift := math.Abs(a-b) / denom; drift >= tol {
+			t.Errorf("result %d: %s drifted by %.3g (%v vs pre-fold %v), tolerance %g",
+				i, field, drift, a, b, tol)
+		}
+	}
+	for i := range cur {
+		c, o := cur[i], old[i]
+		if c.App != o.App || c.Backend != o.Backend || c.TimedOut != o.TimedOut {
+			t.Fatalf("result %d: identity changed: %+v vs %+v", i, c, o)
+		}
+		check(i, "Completion", float64(c.Completion), float64(o.Completion))
+		check(i, "InitTime", float64(c.InitTime), float64(o.InitTime))
+		check(i, "Imbalance", c.Imbalance, o.Imbalance)
+		check(i, "InterconnectLoad", c.InterconnectLoad, o.InterconnectLoad)
+		check(i, "Locality", c.Locality, o.Locality)
+		check(i, "Migrated", float64(c.Migrated), float64(o.Migrated))
+		check(i, "TotalAccesses", c.TotalAccesses, o.TotalAccesses)
+		check(i, "RemoteAccesses", c.RemoteAccesses, o.RemoteAccesses)
 	}
 }
