@@ -60,14 +60,14 @@ func (s *Suite) pairCell(a, polA, b, polB string, mode xennuma.PairMode, swap bo
 // XenPair runs (and memoizes) a two-VM configuration under Xen+.
 func (s *Suite) XenPair(a, polA, b, polB string, mode xennuma.PairMode, swap bool) (engine.Result, engine.Result) {
 	key, fn := s.pairCell(a, polA, b, polB, mode, swap)
-	r := s.results(key, fn)
+	r := s.results(s.baseSeed(), key, fn)
 	return r[0], r[1]
 }
 
 // PrefetchXenPair schedules one two-VM configuration on the worker pool.
 func (s *Suite) PrefetchXenPair(a, polA, b, polB string, mode xennuma.PairMode, swap bool) {
 	key, fn := s.pairCell(a, polA, b, polB, mode, swap)
-	s.prefetch(key, fn)
+	s.prefetch(s.baseSeed(), key, fn)
 }
 
 // pairSwaps returns the node-assignment variants one pair configuration

@@ -19,6 +19,13 @@ import (
 // bit-for-bit deterministic for a fixed Opt.Seed regardless of the
 // worker count (each cell derives its own random stream from the cell
 // key).
+//
+// Cache keys carry the cell's seed, so one suite serves any number of
+// seeds from the same scheduler and cache: the plain accessors read the
+// suite's own seed's cells, the …Seeded variants any other seed's. A
+// seeded cell's random stream depends only on (seed, cell key) — never
+// on the suite's base seed — so its results are bit-for-bit identical
+// to those of a fresh suite whose Opt.Seed is that seed.
 type Suite struct {
 	// Opt is the base options; policy/baseline fields are overridden per
 	// run. Configure it before the first run: cells read it when they
@@ -60,19 +67,36 @@ var XenPolicies = []string{"round-1g", "round-4k", "first-touch", "round-4k/carr
 // cellFn computes one cell's results from the cell's derived options.
 type cellFn func(o xennuma.Options) ([]engine.Result, error)
 
+// baseSeed returns the suite's own seed with the zero default
+// normalized to 1 (matching cellSeed and Options.normalized), so the
+// two spellings of the default share cache entries.
+func (s *Suite) baseSeed() uint64 {
+	if s.Opt.Seed == 0 {
+		return 1
+	}
+	return s.Opt.Seed
+}
+
+// cacheKey is the memoization key of one (seed, cell) pair.
+func cacheKey(seed uint64, key string) string {
+	return fmt.Sprintf("seed=%d/%s", seed, key)
+}
+
 // cellOpts returns the per-cell options: the suite's base options with
-// the seed replaced by the key-derived stream.
-func (s *Suite) cellOpts(key string) xennuma.Options {
+// the seed replaced by the cell's own key-derived stream. The stream
+// depends only on (seed, key) — a seeded cell computes exactly what a
+// fresh suite based on that seed would.
+func (s *Suite) cellOpts(seed uint64, key string) xennuma.Options {
 	o := s.Opt
-	o.Seed = cellSeed(s.Opt.Seed, key)
+	o.Seed = cellSeed(seed, key)
 	return o
 }
 
 // cell resolves a cell: the first caller computes it (recovering panics
 // into the cell's error so waiters are released), later callers block
 // until it is done. It never panics itself; results panics on error.
-func (s *Suite) cell(key string, fn cellFn) *cell {
-	cl, created := s.cache.claim(key)
+func (s *Suite) cell(seed uint64, key string, fn cellFn) *cell {
+	cl, created := s.cache.claim(cacheKey(seed, key))
 	if !created {
 		<-cl.done
 		return cl
@@ -84,16 +108,16 @@ func (s *Suite) cell(key string, fn cellFn) *cell {
 				cl.err = fmt.Errorf("panic: %v", p)
 			}
 		}()
-		cl.res, cl.err = fn(s.cellOpts(key))
+		cl.res, cl.err = fn(s.cellOpts(seed, key))
 	}()
 	s.computed.Add(1)
 	return cl
 }
 
-func (s *Suite) results(key string, fn cellFn) []engine.Result {
-	cl := s.cell(key, fn)
+func (s *Suite) results(seed uint64, key string, fn cellFn) []engine.Result {
+	cl := s.cell(seed, key, fn)
 	if cl.err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", key, cl.err))
+		panic(fmt.Sprintf("exp: %s: %v", cacheKey(seed, key), cl.err))
 	}
 	return cl.res
 }
@@ -104,11 +128,11 @@ func (s *Suite) results(key string, fn cellFn) []engine.Result {
 // worker's. Cells already computed or in flight are not resubmitted: a
 // duplicate task would spend its worker slot blocked on the first
 // claimer's completion.
-func (s *Suite) prefetch(key string, fn cellFn) {
-	if s.cache.has(key) {
+func (s *Suite) prefetch(seed uint64, key string, fn cellFn) {
+	if s.cache.has(cacheKey(seed, key)) {
 		return
 	}
-	s.sched.Submit(func() { s.cell(key, fn) })
+	s.sched.Submit(func() { s.cell(seed, key, fn) })
 }
 
 // Join blocks until every prefetched cell has completed.
@@ -150,26 +174,46 @@ func (s *Suite) xenCell(app, pol string, xenplus bool) (string, cellFn) {
 // (LinuxNUMA baseline).
 func (s *Suite) Linux(app, pol string, mcs bool) engine.Result {
 	key, fn := s.linuxCell(app, pol, mcs)
-	return s.results(key, fn)[0]
+	return s.results(s.baseSeed(), key, fn)[0]
 }
 
 // Xen runs app in a single 48-vCPU VM under pol; xenplus enables the
 // improved baseline (passthrough + MCS).
 func (s *Suite) Xen(app, pol string, xenplus bool) engine.Result {
+	return s.XenSeeded(app, pol, xenplus, s.baseSeed())
+}
+
+// XenSeeded is Xen for an explicit seed, served from the same cache and
+// scheduler: the result is bit-for-bit what a fresh suite with
+// Opt.Seed = seed would compute. Seed 0 means the suite's own seed.
+func (s *Suite) XenSeeded(app, pol string, xenplus bool, seed uint64) engine.Result {
+	if seed == 0 {
+		seed = s.baseSeed()
+	}
 	key, fn := s.xenCell(app, pol, xenplus)
-	return s.results(key, fn)[0]
+	return s.results(seed, key, fn)[0]
 }
 
 // PrefetchLinux schedules one native run on the worker pool.
 func (s *Suite) PrefetchLinux(app, pol string, mcs bool) {
 	key, fn := s.linuxCell(app, pol, mcs)
-	s.prefetch(key, fn)
+	s.prefetch(s.baseSeed(), key, fn)
 }
 
 // PrefetchXen schedules one single-VM Xen run on the worker pool.
 func (s *Suite) PrefetchXen(app, pol string, xenplus bool) {
+	s.PrefetchXenSeeded(app, pol, xenplus, s.baseSeed())
+}
+
+// PrefetchXenSeeded schedules one single-VM Xen run for an explicit
+// seed, so multi-seed sweeps batch every seed's cells on one pool.
+// Seed 0 means the suite's own seed.
+func (s *Suite) PrefetchXenSeeded(app, pol string, xenplus bool, seed uint64) {
+	if seed == 0 {
+		seed = s.baseSeed()
+	}
 	key, fn := s.xenCell(app, pol, xenplus)
-	s.prefetch(key, fn)
+	s.prefetch(seed, key, fn)
 }
 
 // PrefetchLinuxSweep schedules the full LinuxNUMA policy sweep for app

@@ -20,6 +20,11 @@ import (
 // (BindSweep), and the seed-averaged stability report (SeedSweep). All
 // three fan their cells out through the suite's scheduler and are
 // bit-for-bit deterministic for a fixed seed at any worker count.
+//
+// Because the suite's cache keys carry the seed, one suite serves every
+// (app, seed) combination: the …Apps variants batch several
+// applications' cells — and SeedSweep every seed's — onto the shared
+// pool in a single prefetch wave before any table is read.
 
 // sweepRow is one registered policy as the sweeps run it: the plain
 // suite-ready spelling plus whether a Carrefour-stacked cell exists.
@@ -60,37 +65,51 @@ func sweepPolicies() []string {
 // default (round-1G), one simulation cell per table cell, all fanned
 // out before any is read.
 func PolicySweep(s *Suite, app string) *Table {
+	return PolicySweepApps(s, []string{app})[0]
+}
+
+// PolicySweepApps is PolicySweep over several applications sharing one
+// prefetch wave: every (app, policy) cell is submitted to the suite's
+// scheduler before any table is read, so the whole batch runs at the
+// pool's full width. One table per app, in input order.
+func PolicySweepApps(s *Suite, apps []string) []*Table {
 	rows := sweepRows()
 	pols := sweepPolicies()
-	for _, pol := range pols {
-		s.PrefetchXen(app, pol, true)
+	for _, app := range apps {
+		for _, pol := range pols {
+			s.PrefetchXen(app, pol, true)
+		}
 	}
 	s.Join()
 
-	t := &Table{
-		ID:     "sweep",
-		Title:  fmt.Sprintf("Policy sweep for %s under Xen+ (improvement vs round-1G)", app),
-		Header: []string{"policy", "abbrev", "plain", "vs R1G", "carrefour", "vs R1G"},
-	}
-	base := s.Xen(app, "round-1g", true)
-	impr := func(r engine.Result) string {
-		return pct(float64(base.Completion)/float64(r.Completion) - 1)
-	}
-	for _, row := range rows {
-		plain := s.Xen(app, row.name, true)
-		ccomp, cimpr := "-", "-"
-		if row.carrefour {
-			c := s.Xen(app, row.name+"/carrefour", true)
-			ccomp, cimpr = c.Completion.String(), impr(c)
+	tables := make([]*Table, 0, len(apps))
+	for _, app := range apps {
+		t := &Table{
+			ID:     "sweep",
+			Title:  fmt.Sprintf("Policy sweep for %s under Xen+ (improvement vs round-1G)", app),
+			Header: []string{"policy", "abbrev", "plain", "vs R1G", "carrefour", "vs R1G"},
 		}
-		t.Rows = append(t.Rows, []string{
-			row.name, Abbrev(row.name), plain.Completion.String(), impr(plain), ccomp, cimpr})
+		base := s.Xen(app, "round-1g", true)
+		impr := func(r engine.Result) string {
+			return pct(float64(base.Completion)/float64(r.Completion) - 1)
+		}
+		for _, row := range rows {
+			plain := s.Xen(app, row.name, true)
+			ccomp, cimpr := "-", "-"
+			if row.carrefour {
+				c := s.Xen(app, row.name+"/carrefour", true)
+				ccomp, cimpr = c.Completion.String(), impr(c)
+			}
+			t.Rows = append(t.Rows, []string{
+				row.name, Abbrev(row.name), plain.Completion.String(), impr(plain), ccomp, cimpr})
+		}
+		bestPol, bestRes := s.best(pols, func(p string) engine.Result { return s.Xen(app, p, true) })
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("best: %s (%s, %s vs round-1G) over %d cells",
+				bestPol, bestRes.Completion, impr(bestRes), len(pols)))
+		tables = append(tables, t)
 	}
-	bestPol, bestRes := s.best(pols, func(p string) engine.Result { return s.Xen(app, p, true) })
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("best: %s (%s, %s vs round-1G) over %d cells",
-			bestPol, bestRes.Completion, impr(bestRes), len(pols)))
-	return t
+	return tables
 }
 
 // BindSweep maps app's placement sensitivity: one cell per bind:<node>
@@ -98,9 +117,7 @@ func PolicySweep(s *Suite, app string) *Table {
 // the best and worst node shows how much the single-node placement
 // decision alone is worth.
 func BindSweep(s *Suite, app string) *Table {
-	// The node count is scale-independent (scale divides memory banks,
-	// not the topology), so query the unscaled machine.
-	nodes := numa.AMD48Scaled(1).NumNodes()
+	nodes := numa.AMD48Nodes
 	for n := 0; n < nodes; n++ {
 		s.PrefetchXen(app, fmt.Sprintf("bind:%d", n), true)
 	}
@@ -134,42 +151,52 @@ func BindSweep(s *Suite, app string) *Table {
 // SeedSweep reports best-policy stability: it repeats the full policy
 // sweep for app across `seeds` consecutive seeds (starting at the
 // suite's seed) and tabulates each policy's mean completion and how
-// often it won. A cell's key does not carry the seed, so suites must
-// not be shared across seeds: s itself serves the seed it is keyed
-// for, every other seed runs on a fresh suite configured like s
-// (scale, options, worker count).
+// often it won. Cache keys carry the seed, so every seed's cells run on
+// s's own scheduler and cache — all seeds × policies are prefetched in
+// one wave before any cell is read, and the first seed's cells are pure
+// hits when a PolicySweep ran before.
 func SeedSweep(s *Suite, app string, seeds int) *Table {
+	return SeedSweepApps(s, []string{app}, seeds)[0]
+}
+
+// SeedSweepApps is SeedSweep over several applications sharing one
+// prefetch wave of seeds × apps × policies cells on the suite's
+// scheduler. One table per app, in input order.
+func SeedSweepApps(s *Suite, apps []string, seeds int) []*Table {
 	if seeds < 1 {
 		seeds = 1
 	}
-	baseSeed := s.Opt.Seed
-	if baseSeed == 0 {
-		baseSeed = 1 // the run layer normalizes seed 0 to 1
-	}
+	baseSeed := s.baseSeed()
 	pols := sweepPolicies()
+	for i := 0; i < seeds; i++ {
+		seed := baseSeed + uint64(i)
+		for _, app := range apps {
+			for _, pol := range pols {
+				s.PrefetchXenSeeded(app, pol, true, seed)
+			}
+		}
+	}
+	s.Join()
+
+	tables := make([]*Table, 0, len(apps))
+	for _, app := range apps {
+		tables = append(tables, seedSweepTable(s, app, seeds, baseSeed, pols))
+	}
+	return tables
+}
+
+// seedSweepTable builds one app's stability table from the already
+// prefetched seeded cells.
+func seedSweepTable(s *Suite, app string, seeds int, baseSeed uint64, pols []string) *Table {
 	wins := make(map[string]int, len(pols))
 	mean := make(map[string]float64, len(pols))
 	var perSeed []string
 	for i := 0; i < seeds; i++ {
-		// The first seed is the caller's own (cellSeed normalizes seed
-		// 0 to 1 exactly like baseSeed above), so s serves it from its
-		// cache — pure hits when a PolicySweep ran before. Later seeds
-		// get a fresh suite configured like s.
 		seed := baseSeed + uint64(i)
-		ss := s
-		if i > 0 {
-			ss = NewSuiteParallel(s.Opt.Scale, s.Workers())
-			ss.Opt = s.Opt
-			ss.Opt.Seed = seed
-		}
 		for _, pol := range pols {
-			ss.PrefetchXen(app, pol, true)
+			mean[pol] += float64(s.XenSeeded(app, pol, true, seed).Completion) / float64(seeds)
 		}
-		ss.Join()
-		for _, pol := range pols {
-			mean[pol] += float64(ss.Xen(app, pol, true).Completion) / float64(seeds)
-		}
-		best, _ := ss.best(pols, func(p string) engine.Result { return ss.Xen(app, p, true) })
+		best, _ := s.best(pols, func(p string) engine.Result { return s.XenSeeded(app, p, true, seed) })
 		wins[best]++
 		perSeed = append(perSeed, fmt.Sprintf("seed %d → %s", seed, Abbrev(best)))
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // renderSweeps drives all three sweep tables for one cheap app on a
@@ -83,6 +85,40 @@ func TestSeedSweepWinsSumToSeeds(t *testing.T) {
 	}
 }
 
+// TestMultiAppSweepBatchesOnOnePool: the …Apps variants must produce
+// one table per app (identical to the single-app sweeps) from a single
+// prefetch wave on the shared suite.
+func TestMultiAppSweepBatchesOnOnePool(t *testing.T) {
+	apps := []string{"swaptions", "ep.D"}
+	s := NewSuiteParallel(256, 4)
+	s.Opt.Seed = 7
+	tabs := PolicySweepApps(s, apps)
+	if len(tabs) != len(apps) {
+		t.Fatalf("got %d tables for %d apps", len(tabs), len(apps))
+	}
+	want := int64(len(apps) * len(sweepPolicies()))
+	if got := s.CellsComputed(); got != want {
+		t.Fatalf("multi-app sweep computed %d cells, want %d", got, want)
+	}
+	for i, app := range apps {
+		single := NewSuiteParallel(256, 1)
+		single.Opt.Seed = 7
+		if got, wantTab := tabs[i].Render(), PolicySweep(single, app).Render(); got != wantTab {
+			t.Errorf("%s: multi-app table differs from single-app sweep:\n--- multi ---\n%s--- single ---\n%s",
+				app, got, wantTab)
+		}
+	}
+	// Seed sweeps compose with the app batch on the same pool: only the
+	// additional seed's cells are new.
+	before := s.CellsComputed()
+	SeedSweepApps(s, apps, 2)
+	extra := int64(len(apps) * len(sweepPolicies()))
+	if got := s.CellsComputed(); got != before+extra {
+		t.Fatalf("seed sweep over the app batch computed %d new cells, want %d (one extra seed)",
+			got-before, extra)
+	}
+}
+
 // TestBindSweepDefaultScale: a suite built with the documented zero
 // default (NewSuite(0) → run-time scale 64) must sweep without
 // panicking in the table layer.
@@ -93,6 +129,71 @@ func TestBindSweepDefaultScale(t *testing.T) {
 	tab := BindSweep(NewSuite(0), "swaptions")
 	if len(tab.Rows) != 8 {
 		t.Fatalf("bind sweep has %d rows, want 8", len(tab.Rows))
+	}
+}
+
+// flatResult projects the bit-exact observable fields of a result for
+// equality comparison across suites (Stats is a pointer, so the struct
+// itself cannot be compared directly).
+func flatResult(r engine.Result) [8]float64 {
+	return [8]float64{
+		float64(r.Completion), float64(r.InitTime), r.Imbalance,
+		r.InterconnectLoad, r.Locality, float64(r.Migrated),
+		r.Stats.TotalAccesses, r.Stats.RemoteAccesses,
+	}
+}
+
+// TestSeedSweepSharedScheduler: a seed sweep must compute all
+// seeds × policies cells on the caller's own suite — one scheduler, one
+// cache — rather than spinning up fresh per-seed suites.
+func TestSeedSweepSharedScheduler(t *testing.T) {
+	s := NewSuiteParallel(256, 4)
+	s.Opt.Seed = 7
+	const seeds = 2
+	SeedSweep(s, "swaptions", seeds)
+	want := int64(seeds * len(sweepPolicies()))
+	if got := s.CellsComputed(); got != want {
+		t.Fatalf("shared suite computed %d cells, want %d (seeds × policies)", got, want)
+	}
+	submitted, completed := s.sched.Stats()
+	if submitted != want || completed != want {
+		t.Fatalf("scheduler ran %d/%d tasks, want %d: per-seed cells not batched on the shared pool",
+			submitted, completed, want)
+	}
+	// Re-reading any seed's cells is pure cache hits.
+	SeedSweep(s, "swaptions", seeds)
+	if got := s.CellsComputed(); got != want {
+		t.Fatalf("second sweep recomputed %d cells", got-want)
+	}
+}
+
+// TestSeedKeyedCellsMatchFreshSuites is the cross-suite determinism
+// check: every (seed, policy) result a shared multi-seed suite serves
+// must be bit-identical to the same cell computed by a fresh suite
+// dedicated to that seed — across worker counts (the shared suite runs
+// wide, the fresh suites serially).
+func TestSeedKeyedCellsMatchFreshSuites(t *testing.T) {
+	const app = "swaptions"
+	const seeds = 2
+	shared := NewSuiteParallel(256, 4)
+	shared.Opt.Seed = 7
+	SeedSweep(shared, app, seeds)
+	pols := sweepPolicies()
+	for i := 0; i < seeds; i++ {
+		seed := uint64(7 + i)
+		fresh := NewSuiteParallel(256, 1)
+		fresh.Opt.Seed = seed
+		for _, pol := range pols {
+			fresh.PrefetchXen(app, pol, true)
+		}
+		fresh.Join()
+		for _, pol := range pols {
+			got := flatResult(shared.XenSeeded(app, pol, true, seed))
+			want := flatResult(fresh.Xen(app, pol, true))
+			if got != want {
+				t.Errorf("seed %d %s: shared suite %v != fresh suite %v", seed, pol, got, want)
+			}
+		}
 	}
 }
 

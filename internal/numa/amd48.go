@@ -12,6 +12,12 @@ import "fmt"
 // cross-connected so that the network diameter is 2.
 func AMD48() *Topology { return AMD48Scaled(1) }
 
+// AMD48Nodes is the node count of the evaluation machine, exposed so
+// callers that only need the count (per-node sweeps, CLI validation) do
+// not have to build and validate a full topology. The count is
+// scale-independent: AMD48Scaled divides memory banks, never nodes.
+const AMD48Nodes = 8
+
 // AMD48Scaled builds AMD48 with each node's memory bank divided by
 // scale, for fast simulations whose footprints are divided by the same
 // factor. The CPU/link structure is unchanged.
@@ -20,7 +26,7 @@ func AMD48Scaled(scale int) *Topology {
 		panic("numa: scale must be >= 1")
 	}
 	const (
-		nodes   = 8
+		nodes   = AMD48Nodes
 		cpusPer = 6
 	)
 	memPerNode := int64(16<<30) / int64(scale)

@@ -10,6 +10,10 @@ func TestAMD48Shape(t *testing.T) {
 	if got := topo.NumNodes(); got != 8 {
 		t.Fatalf("nodes = %d, want 8", got)
 	}
+	// The cheap accessor must agree with the built topology at any scale.
+	if AMD48Nodes != topo.NumNodes() || AMD48Nodes != AMD48Scaled(64).NumNodes() {
+		t.Fatalf("AMD48Nodes = %d disagrees with the topology", AMD48Nodes)
+	}
 	if got := topo.NumCPUs(); got != 48 {
 		t.Fatalf("CPUs = %d, want 48", got)
 	}
