@@ -12,16 +12,20 @@
 //	xnuma sweep facesim        # every registered policy × {plain, Carrefour}
 //	xnuma sweep -bind facesim  # per-node bind:0..7 placement sensitivity
 //	xnuma sweep -seeds 5 cg.C  # best-policy stability across 5 seeds
+//	xnuma sweep -apps cg.C,sp.C        # several apps' sweeps in one batch
+//	xnuma sweep -apps all -seeds 3     # every app × every seed on one pool
 //	xnuma advise               # §3.5.2 advisor vs exhaustive sweep
 //	xnuma topo                 # dump the machine topology
 //
 // Flags:
 //
-//	-scale N     machine/footprint scale divisor (default 64)
-//	-seed N      simulation seed (default 1)
-//	-parallel N  worker count for the experiment scheduler (default: all CPUs)
-//	-progress    report per-experiment timing on stderr
-//	-md          render tables as Markdown
+//	-scale N        machine/footprint scale divisor (default 64)
+//	-seed N         simulation seed (default 1)
+//	-parallel N     worker count for the experiment scheduler (default: all CPUs)
+//	-progress       report per-experiment timing on stderr
+//	-md             render tables as Markdown
+//	-cpuprofile f   write a CPU profile covering the whole invocation to f
+//	-memprofile f   write an end-of-run heap profile to f
 package main
 
 import (
@@ -29,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,11 +60,13 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	markdown := fs.Bool("md", false, "render tables as Markdown instead of ASCII")
 	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	progress := fs.Bool("progress", false, "report per-experiment timing and run counts on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the whole invocation to this file")
+	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
 usage:
   xnuma [flags] list | policies | all | topo | <experiment-id>... | run <app> <policy>
-  xnuma [flags] sweep [-bind] [-seeds N] <app> | advise [app...]`)
+  xnuma [flags] sweep [-bind] [-seeds N] (<app> | -apps a,b,…|all) | advise [app...]`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -71,6 +79,37 @@ usage:
 	if len(args) == 0 {
 		fs.Usage()
 		return 2
+	}
+
+	// Profiles bracket everything after flag parsing, so the hot loop is
+	// measurable on any command without editing code. Deferred: the CPU
+	// profile stops (and the heap snapshot is taken) after the command —
+	// including a recovered panic — has run.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "xnuma:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "xnuma:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(stderr, "xnuma:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	// A failing simulation cell surfaces as a panic from the suite;
@@ -193,6 +232,18 @@ func printPolicies(w io.Writer) {
 	}
 }
 
+// writeHeapProfile records the end-of-run heap to path, after a GC so
+// the profile reflects live memory rather than collectable garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
 // knownApp rejects application names the workload set does not contain.
 func knownApp(app string) error {
 	for _, a := range xennuma.Apps() {
@@ -204,16 +255,20 @@ func knownApp(app string) error {
 }
 
 // runSweep parses the sweep subcommand's own flags and prints the
-// selected sweep table: the policy × Carrefour sweep by default, the
+// selected sweep tables: the policy × Carrefour sweep by default, the
 // per-node bind sweep with -bind, the seed-stability sweep with
-// -seeds N. It reports its errors itself and returns the exit code.
+// -seeds N. -apps batches several applications (or "all") in a single
+// prefetch wave on the suite's shared pool and composes with -seeds.
+// It reports its errors itself and returns the exit code.
 func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) string, args []string) int {
+	const usage = "usage: xnuma sweep [-bind] [-seeds N] (<app> | -apps a,b,…|all)"
 	fs := flag.NewFlagSet("xnuma sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bind := fs.Bool("bind", false, "sweep bind:<node> over every node instead of the policy registry")
 	seeds := fs.Int("seeds", 1, "average the sweep over N consecutive seeds and report best-policy stability")
+	appsFlag := fs.String("apps", "", "comma-separated applications (or 'all') swept in one batch")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: xnuma sweep [-bind] [-seeds N] <app>")
+		fmt.Fprintln(stderr, usage)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -226,22 +281,48 @@ func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) st
 		fmt.Fprintln(stderr, "xnuma:", err)
 		return 2
 	}
-	if fs.NArg() != 1 {
-		return fail(fmt.Errorf("usage: xnuma sweep [-bind] [-seeds N] <app>"))
+	var apps []string
+	switch {
+	case *appsFlag == "":
+		if fs.NArg() != 1 {
+			return fail(fmt.Errorf("%s", usage))
+		}
+		apps = []string{fs.Arg(0)}
+	case fs.NArg() != 0:
+		return fail(fmt.Errorf("sweep: positional app and -apps are mutually exclusive"))
+	case *appsFlag == "all":
+		apps = exp.Apps()
+	default:
+		for _, app := range strings.Split(*appsFlag, ",") {
+			if app = strings.TrimSpace(app); app != "" {
+				apps = append(apps, app)
+			}
+		}
+		if len(apps) == 0 {
+			return fail(fmt.Errorf("sweep: -apps lists no applications"))
+		}
 	}
-	app := fs.Arg(0)
-	if err := knownApp(app); err != nil {
-		return fail(err)
+	for _, app := range apps {
+		if err := knownApp(app); err != nil {
+			return fail(err)
+		}
+	}
+	printAll := func(tables []*exp.Table) {
+		for _, t := range tables {
+			fmt.Fprintln(stdout, render(t))
+		}
 	}
 	switch {
 	case *bind && *seeds > 1:
 		return fail(fmt.Errorf("sweep: -bind and -seeds are mutually exclusive"))
+	case *bind && *appsFlag != "":
+		return fail(fmt.Errorf("sweep: -bind and -apps are mutually exclusive"))
 	case *bind:
-		fmt.Fprintln(stdout, render(exp.BindSweep(s, app)))
+		fmt.Fprintln(stdout, render(exp.BindSweep(s, apps[0])))
 	case *seeds > 1:
-		fmt.Fprintln(stdout, render(exp.SeedSweep(s, app, *seeds)))
+		printAll(exp.SeedSweepApps(s, apps, *seeds))
 	default:
-		fmt.Fprintln(stdout, render(exp.PolicySweep(s, app)))
+		printAll(exp.PolicySweepApps(s, apps))
 	}
 	return 0
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -175,6 +176,30 @@ func TestSweepSeedsTiny(t *testing.T) {
 	}
 }
 
+func TestSweepAppsTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "sweep", "-apps", "swaptions,ep.D")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"Policy sweep for swaptions", "Policy sweep for ep.D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-app sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepAppsSeedsTiny(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "sweep", "-apps", "swaptions,ep.D", "-seeds", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"stability for swaptions", "stability for ep.D", "wins/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-app seed sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSweepUsage(t *testing.T) {
 	if code, _, _ := runCLI(t, "sweep"); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
@@ -184,6 +209,45 @@ func TestSweepUsage(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "sweep", "-bind", "-seeds", "3", "swaptions"); code != 2 {
 		t.Fatalf("-bind with -seeds: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "-apps", "swaptions", "ep.D"); code != 2 {
+		t.Fatalf("-apps with positional app: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "-bind", "-apps", "swaptions,ep.D"); code != 2 {
+		t.Fatalf("-bind with -apps: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "-apps", "swaptions,nosuch-app"); code != 2 {
+		t.Fatalf("-apps with unknown app: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "-apps", ","); code != 2 {
+		t.Fatalf("-apps with empty list: exit %d, want 2", code)
+	}
+}
+
+// TestProfileFlags: -cpuprofile/-memprofile must produce non-empty
+// pprof files around a real (tiny) run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, heap := dir+"/cpu.pprof", dir+"/heap.pprof"
+	code, _, errb := runCLI(t, "-scale", "256",
+		"-cpuprofile", cpu, "-memprofile", heap, "run", "swaptions", "round-4k")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, path := range []string{cpu, heap} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestCPUProfileBadPath(t *testing.T) {
+	if code, _, _ := runCLI(t, "-cpuprofile", t.TempDir()+"/no/such/dir/p", "table3"); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
 	}
 }
 
