@@ -1,0 +1,23 @@
+package exp
+
+import "testing"
+
+// BenchmarkSuiteSweep measures experiment-suite throughput: one op is a
+// fixed sweep batch — two cheap applications × two seeds × every
+// registered policy (with Carrefour variants) — computed from scratch
+// on a fresh suite with a fixed two-worker pool, the unit of work
+// behind multi-seed, multi-app sweeps. The derived cells/sec metric is
+// the suite-throughput trajectory scripts/bench_suite.sh records in
+// BENCH_suite.json (mirroring BenchmarkEpoch → BENCH_engine.json for
+// the engine hot loop).
+func BenchmarkSuiteSweep(b *testing.B) {
+	apps := []string{"swaptions", "ep.D"}
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		s := NewSuiteParallel(256, 2)
+		s.Opt.Seed = 7
+		SeedSweepApps(s, apps, 2)
+		cells += s.CellsComputed()
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# bench_suite.sh — run the experiment-suite throughput benchmark and
+# track the trajectory against BENCH_suite.json (ns per fixed sweep
+# batch, cells/sec).
+#
+#   scripts/bench_suite.sh             # one pass, rewrites BENCH_suite.json
+#   scripts/bench_suite.sh check       # gate: exit 1 on a >25% ns/op
+#                                      # regression vs the committed file
+#   COUNT=3 scripts/bench_suite.sh     # more -count repetitions (best wins)
+#
+# Unlike bench_engine.sh there is no allocs gate: a sweep batch builds
+# whole machines and suites, so it allocates by design; the number to
+# watch is cells/sec.
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-record}"
+case "$mode" in
+record | check) ;;
+*)
+	echo "usage: scripts/bench_suite.sh [record|check]" >&2
+	exit 2
+	;;
+esac
+
+out=$(go test -run '^$' -bench BenchmarkSuiteSweep -count "${COUNT:-1}" ./internal/exp/)
+printf '%s\n' "$out"
+
+# Keep the best (minimum-ns) repetition: the least-noisy estimate.
+line=$(printf '%s\n' "$out" | awk '
+/^BenchmarkSuiteSweep/ {
+	if (best == "" || $3 + 0 < best + 0) {
+		best = $3
+		name = $1; iters = $2; ns = $3; cells = $5
+	}
+}
+END {
+	if (name == "") {
+		print "bench_suite.sh: no BenchmarkSuiteSweep line in output" > "/dev/stderr"
+		exit 1
+	}
+	print name, iters, ns, cells
+}')
+set -- $line
+name=$1 iters=$2 ns=$3 cells=$4
+
+if [ "$mode" = check ]; then
+	if [ ! -f BENCH_suite.json ]; then
+		echo "bench_suite.sh: no committed BENCH_suite.json to compare against" >&2
+		exit 1
+	fi
+	old=$(awk -F: '/"ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_suite.json)
+	# ns/op carries hardware variance, so the gate only catches gross
+	# (>25%) slowdowns of the fixed batch against the committed file.
+	awk -v new="$ns" -v old="$old" -v cells="$cells" 'BEGIN {
+		if (old + 0 <= 0) {
+			print "bench_suite.sh: bad ns_per_op in BENCH_suite.json" > "/dev/stderr"
+			exit 1
+		}
+		ratio = new / old
+		printf "bench_suite.sh: %s ns/batch vs committed %s (%.2fx), %s cells/sec\n", new, old, ratio, cells
+		if (ratio > 1.25) {
+			print "bench_suite.sh: REGRESSION — sweep batch more than 25% slower than BENCH_suite.json" > "/dev/stderr"
+			exit 1
+		}
+	}'
+	exit 0
+fi
+
+cat >BENCH_suite.json <<EOF
+{
+  "benchmark": "$name",
+  "iterations": $iters,
+  "ns_per_op": $ns,
+  "cells_per_sec": $cells
+}
+EOF
+
+echo "wrote BENCH_suite.json:"
+cat BENCH_suite.json
