@@ -1,0 +1,18 @@
+// Command xnuma-vet runs the repo's invariant analyzers (maporder,
+// detrand, noalloc, aliasretain — see internal/analysis). It works
+// standalone over package patterns:
+//
+//	go run ./cmd/xnuma-vet ./...
+//	go run ./cmd/xnuma-vet -suppressions ./...
+//
+// and as a vettool, which is how CI runs it (scripts/vet.sh):
+//
+//	go build -o bin/xnuma-vet ./cmd/xnuma-vet
+//	go vet -vettool=$(pwd)/bin/xnuma-vet ./...
+package main
+
+import "repro/internal/analysis"
+
+func main() {
+	analysis.VetMain()
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the xnuma-vet driver. It speaks two protocols:
+//
+//   - standalone: `xnuma-vet [patterns]` loads packages through go list
+//     (loader.go) and prints findings — the developer loop.
+//   - vettool: `go vet -vettool=$(pwd)/bin/xnuma-vet ./...` invokes the
+//     tool once with -V=full (a version handshake cmd/go uses as a
+//     cache key) and then once per package with the path to a vet.cfg
+//     file describing the type-checked package. This is the CI loop: go
+//     vet hands us exactly the export data the compiler produced, and
+//     caches clean results per package.
+//
+// The vet.cfg schema mirrors the vetConfig struct in
+// cmd/go/internal/work/exec.go; the subset decoded here is what the
+// analyzers need.
+
+// vetConfig is the JSON payload go vet writes for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain is the entry point of cmd/xnuma-vet. It never returns.
+func VetMain() {
+	args := os.Args[1:]
+
+	// Version handshake: output must be `<name> version <id>` with a
+	// non-"devel" id — cmd/go folds the id into its action cache key.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Println("xnuma-vet version v1")
+		os.Exit(0)
+	}
+	// Flag discovery: cmd/go asks which analyzer flags the tool accepts
+	// before forwarding user flags. xnuma-vet takes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettoolMode(args[0]))
+	}
+
+	suppressions := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-suppressions", "--suppressions":
+			suppressions = true
+		case "-h", "-help", "--help":
+			usage(os.Stdout)
+			os.Exit(0)
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "xnuma-vet: unknown flag %s\n", a)
+				usage(os.Stderr)
+				os.Exit(2)
+			}
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(standaloneMode(patterns, suppressions))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: xnuma-vet [-suppressions] [packages]\n\n")
+	fmt.Fprintf(w, "Invariant analyzers for the xnuma repo:\n\n")
+	for _, a := range All() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nSuppress a finding with a trailing `//xnuma:<analyzer>-ok <reason>`\n")
+	fmt.Fprintf(w, "comment (or one alone on the line above). The reason is mandatory;\n")
+	fmt.Fprintf(w, "unused suppressions are themselves findings. -suppressions prints the\n")
+	fmt.Fprintf(w, "inventory of active suppressions instead of checking.\n")
+}
+
+// standaloneMode loads patterns via go list and reports findings.
+// Returns the process exit code.
+func standaloneMode(patterns []string, suppressions bool) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xnuma-vet:", err)
+		return 1
+	}
+	pkgs, err := LoadPackages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xnuma-vet:", err)
+		return 1
+	}
+	exit := 0
+	suppressed := 0
+	perAnalyzer := map[string]int{}
+	var inventory []string
+	for _, pkg := range pkgs {
+		res, err := RunAnalyzers(pkg, All(), false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xnuma-vet: %s: %v\n", pkg.Path, err)
+			return 1
+		}
+		if !suppressions {
+			for _, d := range res.Diagnostics {
+				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				exit = 2
+			}
+			continue
+		}
+		suppressed += len(res.Suppressed)
+		for _, s := range res.Suppressions {
+			perAnalyzer[s.Analyzer]++
+			inventory = append(inventory, fmt.Sprintf("%s:%d: //xnuma:%s-ok (%s)", s.File, s.Line, s.Analyzer, s.Reason))
+		}
+	}
+	if suppressions {
+		sort.Strings(inventory)
+		for _, l := range inventory {
+			fmt.Println(l)
+		}
+		var names []string
+		for n := range perAnalyzer {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var parts []string
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", n, perAnalyzer[n]))
+		}
+		fmt.Printf("%d suppressions (%s) silencing %d findings\n",
+			len(inventory), strings.Join(parts, ", "), suppressed)
+	}
+	return exit
+}
+
+// vettoolMode handles one `go vet` unit of work. Returns the process
+// exit code: 0 for clean, 2 for findings (any nonzero exit makes go
+// vet report the package).
+func vettoolMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xnuma-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "xnuma-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// go vet caches our (empty) per-package output; the file must exist
+	// even when there is nothing to say, and VetxOnly units (dependencies
+	// vetted only for their facts) need nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "xnuma-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := typeCheckVetUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "xnuma-vet:", err)
+		return 1
+	}
+	res, err := RunAnalyzers(pkg, All(), false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xnuma-vet: %s: %v\n", pkg.Path, err)
+		return 1
+	}
+	exit := 0
+	for _, d := range res.Diagnostics {
+		// file:line:col: message — the shape go vet relays verbatim.
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		exit = 2
+	}
+	return exit
+}
+
+// typeCheckVetUnit type-checks the package a vet.cfg describes,
+// resolving imports through the export files go vet listed.
+func typeCheckVetUnit(cfg *vetConfig) (*Package, error) {
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+	fset := token.NewFileSet()
+	imp := newCachedImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := typeCheckWithVersion(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.GoVersion)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// typeCheckWithVersion is typeCheck with the language version pinned to
+// what go vet reported for the package.
+func typeCheckWithVersion(fset *token.FileSet, imp types.Importer, path, dir string, files []string, goVersion string) (*Package, error) {
+	pkg, err := typeCheckConfig(fset, imp, path, dir, files, func(conf *types.Config) {
+		if goVersion != "" {
+			conf.GoVersion = goVersion
+		}
+	})
+	return pkg, err
+}

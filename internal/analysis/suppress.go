@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suppression grammar: a finding on line L of file F is silenced by
+// a comment `//xnuma:<analyzer>-ok <reason>` placed either at the end of
+// line L or alone on line L-1. The reason is mandatory — a bare
+// suppression does not suppress and is reported as a diagnostic — and a
+// suppression that silences nothing is reported as unused, so stale
+// suppressions are flushed out as the code they excused improves.
+
+// Suppression is one parsed //xnuma:<name>-ok comment.
+type Suppression struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+	// Line is the comment's own line; it suppresses findings on Line
+	// and Line+1.
+	Line int
+	File string
+}
+
+const suppressPrefix = "//xnuma:"
+const suppressSuffix = "-ok"
+
+// parseSuppression parses one comment's text, returning ok=false for
+// comments that are not suppressions at all. A suppression with an
+// empty Reason is returned with ok=true so callers can flag it.
+func parseSuppression(text string) (analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, suppressPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, suppressPrefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	if !strings.HasSuffix(name, suppressSuffix) {
+		return "", "", false
+	}
+	// A `//` inside the reason starts a nested note (e.g. a reference, or
+	// the test harness's `// want` expectations) — not part of the reason.
+	reason, _, _ = strings.Cut(reason, "//")
+	return strings.TrimSuffix(name, suppressSuffix), strings.TrimSpace(reason), true
+}
+
+// applySuppressions matches raw findings against the package's
+// suppression comments for the active analyzers and produces the final
+// diagnostic set, including the meta-diagnostics of the hygiene rules.
+func applySuppressions(pkg *Package, active []string, raw []Diagnostic) RunResult {
+	activeSet := make(map[string]bool, len(active))
+	for _, a := range active {
+		activeSet[a] = true
+	}
+
+	var res RunResult
+	var valid []*Suppression
+	// index: file -> line -> suppressions covering that line.
+	type key struct {
+		file string
+		line int
+	}
+	covering := make(map[key][]*Suppression)
+
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			// The analyzers skip test files, so suppressions there
+			// could only ever be unused.
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if !activeSet[name] {
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: name,
+						Message:  "suppression names unknown analyzer " + name,
+					})
+					continue
+				}
+				if reason == "" {
+					// A reasonless suppression is a diagnostic and does
+					// not suppress: the pressure to justify is the point.
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: name,
+						Message:  "//xnuma:" + name + "-ok needs a reason (//xnuma:" + name + "-ok <why this order/alloc/alias is safe>)",
+					})
+					continue
+				}
+				s := &Suppression{
+					Pos: c.Pos(), Analyzer: name, Reason: reason,
+					Line: pos.Line, File: pos.Filename,
+				}
+				valid = append(valid, s)
+				covering[key{pos.Filename, pos.Line}] = append(covering[key{pos.Filename, pos.Line}], s)
+				covering[key{pos.Filename, pos.Line + 1}] = append(covering[key{pos.Filename, pos.Line + 1}], s)
+			}
+		}
+	}
+
+	used := make(map[*Suppression]bool)
+	for _, d := range raw {
+		pos := pkg.Fset.Position(d.Pos)
+		var hit *Suppression
+		for _, s := range covering[key{pos.Filename, pos.Line}] {
+			if s.Analyzer == d.Analyzer {
+				hit = s
+				break
+			}
+		}
+		if hit != nil {
+			used[hit] = true
+			res.Suppressed = append(res.Suppressed, d)
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+
+	for _, s := range valid {
+		res.Suppressions = append(res.Suppressions, *s)
+		if !used[s] {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: s.Analyzer,
+				Message:  "unused //xnuma:" + s.Analyzer + "-ok suppression (no " + s.Analyzer + " finding here — delete it)",
+			})
+		}
+	}
+	return res
+}

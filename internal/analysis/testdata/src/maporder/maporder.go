@@ -1,0 +1,125 @@
+// Package maporder is golden-test input for the maporder analyzer.
+// Each `// want` comment is an expected diagnostic (regex over the
+// message); lines without one must stay silent.
+package maporder
+
+import "sort"
+
+type state struct {
+	total float64
+	log   []int
+}
+
+// Float accumulation in map order: the canonical nondeterminism bug
+// (float addition does not commute bit-for-bit).
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates floating-point values`
+		total += v
+	}
+	return total
+}
+
+// Appending values in map order yields a differently-ordered slice per
+// run.
+func collectValues(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `appends to a result slice`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Mutating state outside the loop in map order.
+func countBig(m map[int]int, threshold int) int {
+	n := 0
+	for _, v := range m { // want `updates n in iteration order`
+		if v > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Deleting from another map in iteration order mutates shared state in
+// a nondeterministic sequence.
+func pruneOther(m, other map[int]int) {
+	for k := range m { // want `deletes from other in iteration order`
+		delete(other, k)
+	}
+}
+
+// Calls with side effects run in map order.
+func drainAll(m map[int]*state) {
+	for _, s := range m { // want `calls drain in iteration order`
+		drain(s)
+	}
+}
+
+func drain(s *state) { s.total = 0 }
+
+// Exempt: pure key collection followed by a sort — the canonical
+// deterministic idiom.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Clean: reads with loop-local effects only.
+func anyNegative(m map[string]int) {
+	for _, v := range m {
+		if v < 0 {
+			panic("negative entry")
+		}
+	}
+}
+
+// Suppressed: the reason rides on the flagged line.
+func maxValue(m map[int]int) int {
+	best := 0
+	for _, v := range m { //xnuma:maporder-ok max is order-independent
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Suppressed from the line above.
+func minValue(m map[int]int) int {
+	best := 1 << 30
+	//xnuma:maporder-ok min is order-independent
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// A reasonless suppression does not suppress and is itself flagged, so
+// both diagnostics land on this line.
+func sumInts(m map[int]int) int {
+	n := 0
+	for _, v := range m { //xnuma:maporder-ok // want `updates n in iteration order` `needs a reason`
+		n += v
+	}
+	return n
+}
+
+// An unused suppression (nothing to silence here) is flagged.
+func lookupOnly(m map[int]int, k int) int {
+	//xnuma:maporder-ok stale excuse // want `unused //xnuma:maporder-ok suppression`
+	return m[k]
+}
+
+// A suppression naming an analyzer that does not exist is flagged.
+func alsoLookup(m map[int]int, k int) bool {
+	//xnuma:frobnicate-ok whatever // want `suppression names unknown analyzer frobnicate`
+	_, ok := m[k]
+	return ok
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd exercises the full `go vet -vettool` path: the
+// built cmd/xnuma-vet binary speaking the unitchecker protocol
+// (-V=full handshake, vet.cfg unit files, vetx facts). The golden
+// tests cover the analyzers in-process; this covers the driver —
+// a protocol break (e.g. a missing VetxOutput write) only shows up
+// under the real go vet.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the whole module")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "xnuma-vet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/xnuma-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/xnuma-vet: %v\n%s", err, out)
+	}
+
+	vet := func(pattern string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, pattern)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	// The merged tree must vet clean — the same invariant CI enforces.
+	if out, err := vet("./..."); err != nil {
+		t.Errorf("go vet -vettool over the repo reported findings:\n%s", out)
+	}
+
+	// A package with known violations must fail with our diagnostics.
+	// The detrand golden input is a real compilable package whose path
+	// (repro/internal/...) is in the sim-package scope.
+	out, err := vet("./internal/analysis/testdata/src/detrand")
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on the detrand golden input:\n%s", out)
+	}
+	for _, want := range []string{
+		"detrand: import of math/rand",
+		"detrand: time.Now in a simulation package",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vettool output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -109,13 +109,19 @@ func (m Mode) String() string {
 }
 
 // interleaves reports whether the hot-page interleave heuristic may run.
+//
+//xnuma:noalloc
 func (m Mode) interleaves() bool { return m == ModeFull }
 
 // migrates reports whether the locality-migration heuristic may run.
+//
+//xnuma:noalloc
 func (m Mode) migrates() bool { return m == ModeFull || m == ModeMigrationOnly }
 
 // replicates reports whether the replication heuristic may run (still
 // subject to Config.EnableReplication under ModeFull).
+//
+//xnuma:noalloc
 func (m Mode) replicates() bool { return m == ModeFull || m == ModeReplicationOnly }
 
 // Config tunes the decision thresholds.
@@ -168,6 +174,16 @@ type Controller struct {
 	InterleaveTicks uint64
 	MigrationTicks  uint64
 	rr              int
+
+	// Scratch buffers reused across ticks so the decision loop allocates
+	// nothing in the steady state (the engine runs it inside the epoch
+	// loop).
+	//xnuma:scratch
+	over []numa.NodeID
+	//xnuma:scratch
+	under   []numa.NodeID
+	isOver  []bool
+	ordered []Sample
 }
 
 // New returns a controller with cfg, applying the mode's implications
@@ -197,6 +213,8 @@ type Result struct {
 }
 
 // Step runs one decision interval.
+//
+//xnuma:noalloc
 func (c *Controller) Step(t Tick) Result {
 	c.Ticks++
 	var res Result
@@ -225,6 +243,8 @@ func (c *Controller) Step(t Tick) Result {
 // replicate applies the replication heuristic: hot, read-only sets
 // accessed from several nodes get a per-node copy, removing their remote
 // traffic entirely.
+//
+//xnuma:noalloc
 func (c *Controller) replicate(t Tick) int {
 	done := 0
 	for _, s := range t.Samples {
@@ -242,6 +262,7 @@ func (c *Controller) replicate(t Tick) int {
 	return done
 }
 
+//xnuma:noalloc
 func (c *Controller) controllersOverloaded(util []float64) bool {
 	if len(util) == 0 {
 		return false
@@ -262,18 +283,26 @@ func (c *Controller) controllersOverloaded(util []float64) bool {
 
 // interleave randomly migrates hot pages from overloaded nodes to
 // underloaded nodes (§3.4).
+//
+//xnuma:noalloc
 func (c *Controller) interleave(t Tick, budget *int) int {
-	overloaded, underloaded := splitByLoad(t.CtrlUtil)
+	overloaded, underloaded := c.splitByLoad(t.CtrlUtil)
 	if len(overloaded) == 0 || len(underloaded) == 0 {
 		return 0
 	}
-	isOver := make(map[numa.NodeID]bool, len(overloaded))
+	if cap(c.isOver) < len(t.CtrlUtil) {
+		c.isOver = make([]bool, len(t.CtrlUtil))
+	}
+	isOver := c.isOver[:len(t.CtrlUtil)]
+	for i := range isOver {
+		isOver[i] = false
+	}
 	for _, n := range overloaded {
 		isOver[n] = true
 	}
 	moved := 0
 	// Hottest sets first: hot flags, then by access share.
-	for _, s := range orderSamples(t.Samples) {
+	for _, s := range c.orderSamples(t.Samples) {
 		if *budget <= 0 {
 			break
 		}
@@ -295,9 +324,11 @@ func (c *Controller) interleave(t Tick, budget *int) int {
 
 // localityMigrate moves pages of single-accessor sets to the accessing
 // node (§3.4).
+//
+//xnuma:noalloc
 func (c *Controller) localityMigrate(t Tick, budget *int) int {
 	moved := 0
-	for _, s := range orderSamples(t.Samples) {
+	for _, s := range c.orderSamples(t.Samples) {
 		if *budget <= 0 {
 			break
 		}
@@ -320,8 +351,12 @@ func (c *Controller) localityMigrate(t Tick, budget *int) int {
 }
 
 // splitByLoad partitions nodes into overloaded (above 1.2× mean) and
-// underloaded (below 0.8× mean).
-func splitByLoad(util []float64) (over, under []numa.NodeID) {
+// underloaded (below 0.8× mean). The returned slices alias the
+// controller's scratch buffers and stay valid until the next call.
+//
+//xnuma:noalloc
+func (c *Controller) splitByLoad(util []float64) (over, under []numa.NodeID) {
+	c.over, c.under = c.over[:0], c.under[:0]
 	var sum float64
 	for _, u := range util {
 		sum += u
@@ -330,15 +365,17 @@ func splitByLoad(util []float64) (over, under []numa.NodeID) {
 	for i, u := range util {
 		switch {
 		case u > 1.2*mean:
-			over = append(over, numa.NodeID(i))
+			c.over = append(c.over, numa.NodeID(i))
 		case u < 0.8*mean:
-			under = append(under, numa.NodeID(i))
+			c.under = append(c.under, numa.NodeID(i))
 		}
 	}
-	return over, under
+	return c.over, c.under
 }
 
 // dominantNode returns the node with the largest accessor share.
+//
+//xnuma:noalloc
 func dominantNode(accessors []float64) (numa.NodeID, float64) {
 	best, bestShare := numa.NodeID(0), 0.0
 	for i, a := range accessors {
@@ -349,9 +386,16 @@ func dominantNode(accessors []float64) (numa.NodeID, float64) {
 	return best, bestShare
 }
 
-// orderSamples returns samples hottest-first without mutating the input.
-func orderSamples(in []Sample) []Sample {
-	out := make([]Sample, len(in))
+// orderSamples returns samples hottest-first without mutating the
+// input. The returned slice aliases the controller's scratch buffer and
+// stays valid until the next call.
+//
+//xnuma:noalloc
+func (c *Controller) orderSamples(in []Sample) []Sample {
+	if cap(c.ordered) < len(in) {
+		c.ordered = make([]Sample, 0, len(in))
+	}
+	out := c.ordered[:len(in)]
 	copy(out, in)
 	// Insertion sort: sample counts are tiny (regions per VM).
 	for i := 1; i < len(out); i++ {
@@ -362,6 +406,7 @@ func orderSamples(in []Sample) []Sample {
 	return out
 }
 
+//xnuma:noalloc
 func hotter(a, b Sample) bool {
 	if a.Hot != b.Hot {
 		return a.Hot

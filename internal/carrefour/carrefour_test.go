@@ -176,7 +176,8 @@ func TestHotSetsConsideredFirst(t *testing.T) {
 }
 
 func TestSplitByLoad(t *testing.T) {
-	over, under := splitByLoad([]float64{0.9, 0.1, 0.1, 0.1})
+	var c Controller
+	over, under := c.splitByLoad([]float64{0.9, 0.1, 0.1, 0.1})
 	if len(over) != 1 || over[0] != 0 {
 		t.Fatalf("over = %v", over)
 	}

@@ -171,6 +171,8 @@ func (r *Region) NodeOf(i int) numa.NodeID { return r.nodes[i] }
 // uniform-zero when empty). The returned slice is owned by the region
 // and stays valid until the next placement mutation; callers must not
 // modify it.
+//
+//xnuma:noalloc
 func (r *Region) Dist() []float64 {
 	if r.distCache == nil {
 		r.distCache = make([]float64, r.nNodes)
@@ -195,6 +197,8 @@ func (r *Region) Dist() []float64 {
 // working-set head when SetAccessHead was called, the whole region
 // otherwise. Like Dist, the returned slice is owned by the region and
 // valid until the next placement mutation.
+//
+//xnuma:noalloc
 func (r *Region) AccessDist() []float64 {
 	if r.headLimit <= 0 || r.headLimit >= len(r.Pages) {
 		return r.Dist()
@@ -225,6 +229,8 @@ func (r *Region) AccessDist() []float64 {
 // accesses hit the single hottest page (page 0). Like Dist, the returned
 // slice is owned by the region and valid until the next placement
 // mutation.
+//
+//xnuma:noalloc
 func (r *Region) HotDist() []float64 {
 	if r.hotCache == nil {
 		r.hotCache = make([]float64, r.nNodes)
@@ -352,12 +358,16 @@ type regionSizes struct {
 const DefaultCrossShare = 0.25
 
 // weights returns the access-stream weights of the instance's profile.
+//
+//xnuma:noalloc
 func (in *Instance) weights() (wHot, wMaster, wPriv, wDist float64) {
 	p := in.Prof
 	return p.HotShare, p.MasterShare, p.PrivateShare, p.DistShare
 }
 
 // AllDone reports whether every thread finished.
+//
+//xnuma:noalloc
 func (in *Instance) AllDone() bool {
 	for _, t := range in.Threads {
 		if !t.Done {

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/carrefour"
 	"repro/internal/iosim"
@@ -106,10 +105,20 @@ type runner struct {
 	hops   []int
 
 	// Scratch buffers, reused so steady-state epochs allocate nothing.
-	ioTarget  [1]numa.NodeID   // single-node DMA target of ioFactor
+	ioTarget [1]numa.NodeID // single-node DMA target of ioFactor
+	//xnuma:scratch
 	movePairs [][2]numa.NodeID // sorted pendingMoveBytes keys
 	tickUtil  []float64        // controller-utilization copy for Carrefour ticks
 	cycles    []float64        // per-(src,dst) access cost, filled each iteration
+
+	// Carrefour-tick scratch: the tick rebuilds the sampler view from
+	// the stream table every interval, so the backing stores are reused.
+	//xnuma:scratch
+	moves    []carrefour.Move   // migrations recorded by pageSet.Migrate
+	shared   []float64          // running-thread node distribution
+	accArena []float64          // per-sample accessor rows, carved per tick
+	pageSets []pageSet          // sample adapter arena
+	sampBuf  []carrefour.Sample // sampler view handed to Controller.Step
 }
 
 func (r *runner) setup() error {
@@ -300,6 +309,8 @@ func (r *runner) loop() {
 // epoch advances the simulation by one quantum: refresh each live
 // instance's stream table, couple rates and latencies, apply progress,
 // fold the epoch into the statistics, and run due Carrefour ticks.
+//
+//xnuma:noalloc
 func (r *runner) epoch(step int) {
 	for _, in := range r.insts {
 		if !in.done {
@@ -341,6 +352,8 @@ func (r *runner) allDone() bool {
 // table collapsed by foldRows — streams never appear here). When record
 // is true, per-thread work units are captured for the progress step and
 // per-instance loads are filled.
+//
+//xnuma:noalloc
 func (r *runner) fillLoads(record bool) {
 	r.load.Reset()
 	epochNs := float64(r.cfg.Epoch)
@@ -403,17 +416,12 @@ func (r *runner) fillLoads(record bool) {
 		// links, and float accumulation must not depend on map iteration
 		// order for runs to be bit-for-bit reproducible.
 		if len(in.pendingMoveBytes) > 0 {
-			pairs := r.movePairs[:0]
+			pairs := r.movePairs[:0] //xnuma:scratch
 			for pair := range in.pendingMoveBytes {
 				pairs = append(pairs, pair)
 			}
 			r.movePairs = pairs
-			sort.Slice(pairs, func(a, b int) bool {
-				if pairs[a][0] != pairs[b][0] {
-					return pairs[a][0] < pairs[b][0]
-				}
-				return pairs[a][1] < pairs[b][1]
-			})
+			sortMovePairs(pairs)
 			for _, pair := range pairs {
 				bytes := in.pendingMoveBytes[pair]
 				r.load.AddDMA(pair[0], pair[1], bytes)
@@ -428,6 +436,8 @@ func (r *runner) fillLoads(record bool) {
 
 // ioFactor returns the progress multiplier from disk throughput and
 // charges DMA traffic.
+//
+//xnuma:noalloc
 func (r *runner) ioFactor(in *Instance, record bool, il *metrics.EpochLoad) float64 {
 	if in.ioStream.DemandBps <= 0 {
 		return 1
@@ -453,6 +463,8 @@ func (r *runner) ioFactor(in *Instance, record bool, il *metrics.EpochLoad) floa
 
 // overheadFrac is the fraction of CPU time lost to virtualized IPIs,
 // allocator-churn notifications and Carrefour sampling.
+//
+//xnuma:noalloc
 func (r *runner) overheadFrac(in *Instance) float64 {
 	m := ipi.Model{Virtualized: in.Backend.Virtualized(), MCSSpin: in.MCS}
 	f := m.OverheadFraction(in.Prof.CtxSwitchKps*1000, in.Prof.SyncAmplification, in.Prof.UsesPthreadSync)
@@ -472,6 +484,8 @@ func (r *runner) overheadFrac(in *Instance) float64 {
 // on the route — so it is filled once per iteration into an nNodes²
 // matrix; each thread then reduces its folded node row against its
 // source node's cost row instead of re-deriving the cost per stream.
+//
+//xnuma:noalloc
 func (r *runner) updateLatencies() {
 	lm := r.cfg.Topo.Latency
 	r.load.FillCtrlUtil(r.ctrlUtil)
@@ -508,6 +522,8 @@ func (r *runner) updateLatencies() {
 
 // progress applies the recorded units, consumes debt, and detects
 // completion.
+//
+//xnuma:noalloc
 func (r *runner) progress() {
 	epochNs := float64(r.cfg.Epoch)
 	for i, in := range r.insts {
@@ -554,6 +570,8 @@ func (r *runner) progress() {
 
 // carrefourTick runs one decision interval of the dynamic policy for
 // instance i, charges its costs and schedules its copy traffic.
+//
+//xnuma:noalloc
 func (r *runner) carrefourTick(i int, in *Instance) {
 	// Maybe start a misleading burst (§3.5.2).
 	if in.burstLeft <= 0 && in.Prof.Burstiness > 0 && len(in.priv) > 0 {
@@ -570,12 +588,12 @@ func (r *runner) carrefourTick(i int, in *Instance) {
 			in.burstLeft = r.cfg.CarrefourEvery + 1
 		}
 	}
-	var moves []carrefour.Move
+	r.moves = r.moves[:0]
 	r.tickUtil = append(r.tickUtil[:0], r.ctrlUtil...)
 	tick := carrefour.Tick{
 		CtrlUtil:    r.tickUtil,
 		MaxLinkUtil: r.load.MaxLinkUtil(),
-		Samples:     r.samples(in, &moves),
+		Samples:     r.samples(in),
 		Rand:        r.rand,
 	}
 	res := r.ctrls[i].Step(tick)
@@ -585,7 +603,7 @@ func (r *runner) carrefourTick(i int, in *Instance) {
 	// Each migration copies one page across the interconnect; charge the
 	// bytes to the next epoch and the CPU cost as debt spread across the
 	// instance's threads.
-	for _, mv := range moves {
+	for _, mv := range r.moves {
 		in.pendingMoveBytes[[2]numa.NodeID{mv.From, mv.To}] += 4096
 	}
 	costNs := float64(res.Migrated) * 6000 / float64(in.NThreads)
@@ -599,12 +617,23 @@ func (r *runner) carrefourTick(i int, in *Instance) {
 // samples builds the Carrefour view of the instance's regions from the
 // epoch's stream table. The emitted order (hot, master, dist slices,
 // private slices) is part of the deterministic contract: Carrefour's
-// hotness sort is stable, so ties keep this order.
-func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Sample {
+// hotness sort is stable, so ties keep this order. Everything the view
+// needs — the sample slice, the pageSet adapters, the accessor rows —
+// lives in runner scratch arenas, so a tick allocates nothing once the
+// arenas are warm; the view stays valid until the next tick rebuilds it.
+//
+//xnuma:noalloc
+func (r *runner) samples(in *Instance) []carrefour.Sample {
 	tbl := &in.streamTab
 	nNodes := r.cfg.Topo.NumNodes()
 	// Accessor distribution of shared regions: the running threads.
-	shared := make([]float64, nNodes)
+	if cap(r.shared) < nNodes {
+		r.shared = make([]float64, nNodes)
+	}
+	shared := r.shared[:nNodes]
+	for n := range shared {
+		shared[n] = 0
+	}
 	running := 0
 	for _, t := range in.Threads {
 		if !t.Done {
@@ -617,33 +646,46 @@ func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Samp
 			shared[n] /= float64(running)
 		}
 	}
-	mk := func(reg *Region, share float64, accessors []float64, hot bool) carrefour.Sample {
-		return carrefour.Sample{
-			Set:         &pageSet{r: reg, b: in.Backend, moves: moves},
-			AccessShare: share,
-			Accessors:   accessors,
-			Hot:         hot,
-			ReadOnly:    hot && in.Prof.ReadFrac >= 0.7,
-		}
+
+	dists := tbl.find(streamDistOwn).perThread
+	privs := tbl.find(streamPrivate).perThread
+	nSamples := 2 + len(dists) + len(privs)
+	if cap(r.pageSets) < nSamples {
+		r.pageSets = make([]pageSet, nSamples)
 	}
-	out := []carrefour.Sample{
-		mk(tbl.find(streamHot).reg, tbl.wHot, shared, true),
-		mk(tbl.find(streamMaster).reg, tbl.wMaster, shared, false),
+	if cap(r.accArena) < (nSamples-2)*nNodes {
+		r.accArena = make([]float64, (nSamples-2)*nNodes)
 	}
+	if cap(r.sampBuf) < nSamples {
+		r.sampBuf = make([]carrefour.Sample, 0, nSamples)
+	}
+	sets := r.pageSets[:nSamples]
+	arena := r.accArena[:(nSamples-2)*nNodes]
+	out := r.sampBuf[:0] //xnuma:scratch
+
+	out = append(out,
+		r.mkSample(&sets[0], in, tbl.find(streamHot).reg, tbl.wHot, shared, true),
+		r.mkSample(&sets[1], in, tbl.find(streamMaster).reg, tbl.wMaster, shared, false),
+	)
+	k := 2
 	// One sample per dist slice; its accessors blend the owner with the
 	// cross-slice traffic of everyone else. (The dist-cross stream is
 	// not a separate page set: it is this blend.)
-	for _, reg := range tbl.find(streamDistOwn).perThread {
-		acc := make([]float64, nNodes)
+	for _, reg := range dists {
+		acc := arena[(k-2)*nNodes : (k-1)*nNodes]
 		owner := in.Threads[reg.Owner].Node
 		for n := range acc {
 			acc[n] = tbl.cross * shared[n]
 		}
 		acc[owner] += 1 - tbl.cross
-		out = append(out, mk(reg, tbl.wDist/float64(in.NThreads), acc, false))
+		out = append(out, r.mkSample(&sets[k], in, reg, tbl.wDist/float64(in.NThreads), acc, false))
+		k++
 	}
-	for _, reg := range tbl.find(streamPrivate).perThread {
-		acc := make([]float64, nNodes)
+	for _, reg := range privs {
+		acc := arena[(k-2)*nNodes : (k-1)*nNodes]
+		for n := range acc {
+			acc[n] = 0
+		}
 		share := tbl.wPriv / float64(in.NThreads)
 		if in.burstLeft > 0 && reg == in.burstRegion {
 			// The sampler currently sees mostly the burst's remote
@@ -653,16 +695,53 @@ func (r *runner) samples(in *Instance, moves *[]carrefour.Move) []carrefour.Samp
 		} else {
 			acc[in.Threads[reg.Owner].Node] = 1
 		}
-		out = append(out, mk(reg, share, acc, false))
+		out = append(out, r.mkSample(&sets[k], in, reg, share, acc, false))
+		k++
 	}
+	r.sampBuf = out
 	return out
+}
+
+// mkSample initializes one scratch pageSet adapter and wraps it in a
+// sampler Sample.
+//
+//xnuma:noalloc
+func (r *runner) mkSample(set *pageSet, in *Instance, reg *Region, share float64, accessors []float64, hot bool) carrefour.Sample {
+	set.r, set.b, set.moves = reg, in.Backend, &r.moves
+	return carrefour.Sample{
+		Set:         set,
+		AccessShare: share,
+		Accessors:   accessors,
+		Hot:         hot,
+		ReadOnly:    hot && in.Prof.ReadFrac >= 0.7,
+	}
+}
+
+// sortMovePairs orders (src, dst) node pairs lexicographically with an
+// insertion sort: the pair count is at most nNodes², and sort.Slice
+// would allocate on the hot path (a closure plus boxing the slice into
+// its interface parameter).
+//
+//xnuma:noalloc
+func sortMovePairs(pairs [][2]numa.NodeID) {
+	for i := 1; i < len(pairs); i++ {
+		p := pairs[i]
+		j := i - 1
+		for j >= 0 && (pairs[j][0] > p[0] || (pairs[j][0] == p[0] && pairs[j][1] > p[1])) {
+			pairs[j+1] = pairs[j]
+			j--
+		}
+		pairs[j+1] = p
+	}
 }
 
 // pageSet adapts a Region + Backend to carrefour.PageSet, recording each
 // move for traffic accounting.
 type pageSet struct {
-	r     *Region
-	b     Backend
+	r *Region
+	b Backend
+	// moves points at the runner's shared migration log, reset each tick.
+	//xnuma:scratch
 	moves *[]carrefour.Move
 }
 

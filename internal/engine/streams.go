@@ -55,6 +55,8 @@ type stream struct {
 
 // distFor resolves the placement distribution stream s presents to
 // thread t.
+//
+//xnuma:noalloc
 func (s *stream) distFor(t *Thread) []float64 {
 	if s.dist != nil {
 		return s.dist
@@ -75,6 +77,8 @@ type streamTable struct {
 
 // find returns the table's stream of the given kind, or nil when the
 // table has none.
+//
+//xnuma:noalloc
 func (t *streamTable) find(k streamKind) *stream {
 	for i := range t.streams {
 		if t.streams[i].kind == k {
@@ -90,6 +94,8 @@ func (t *streamTable) find(k streamKind) *stream {
 // table and the distribution slices it aliases stay valid for the whole
 // epoch. The streams slice and the combined-distribution scratch are
 // reused: steady-state epochs allocate nothing.
+//
+//xnuma:noalloc
 func (in *Instance) refreshStreams() {
 	t := &in.streamTab
 	t.wHot, t.wMaster, t.wPriv, t.wDist = in.weights()
@@ -97,9 +103,9 @@ func (in *Instance) refreshStreams() {
 	in.distAll = combinedDistInto(in.distAll, in.dist)
 	t.streams = append(t.streams[:0],
 		stream{kind: streamHot, weight: t.wHot, reg: in.hot,
-			dist: in.hot.HotDist(), local: in.hot.Replicated},
+			dist: in.hot.HotDist(), local: in.hot.Replicated}, //xnuma:aliasretain-ok table is rebuilt here every epoch, before placement mutates
 		stream{kind: streamMaster, weight: t.wMaster, reg: in.master,
-			dist: in.master.AccessDist()},
+			dist: in.master.AccessDist()}, //xnuma:aliasretain-ok table is rebuilt here every epoch, before placement mutates
 		stream{kind: streamPrivate, weight: t.wPriv, perThread: in.priv},
 		stream{kind: streamDistOwn, weight: t.wDist * (1 - t.cross), perThread: in.dist},
 		stream{kind: streamDistCross, weight: t.wDist * t.cross, dist: in.distAll},
@@ -113,6 +119,8 @@ func (in *Instance) refreshStreams() {
 // the thread's own node). The fixed-point iterations consume only these
 // rows — the stream dimension is gone from the hot loop. The backing
 // buffer is reused across epochs, so steady state allocates nothing.
+//
+//xnuma:noalloc
 func (in *Instance) foldRows() {
 	nn := in.hot.nNodes
 	if cap(in.rows) < in.NThreads*nn {
@@ -147,6 +155,8 @@ func (in *Instance) foldRows() {
 }
 
 // row returns thread id's folded node row for the current epoch.
+//
+//xnuma:noalloc
 func (in *Instance) row(id, nNodes int) []float64 {
 	return in.rows[id*nNodes : (id+1)*nNodes]
 }
@@ -160,6 +170,8 @@ func combinedDist(regs []*Region) []float64 {
 
 // combinedDistInto is combinedDist writing into dst (grown if needed)
 // so per-epoch callers can reuse one scratch buffer.
+//
+//xnuma:noalloc
 func combinedDistInto(dst []float64, regs []*Region) []float64 {
 	if len(regs) == 0 {
 		return nil

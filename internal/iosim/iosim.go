@@ -107,6 +107,8 @@ func (p Path) Throughput(d Disk, reqBytes float64) float64 {
 // the copy through dom0; the passthrough path runs close to device
 // speed. (The per-request Read4KLatency model above explains these caps:
 // small-request software cost dominates the dom0 path.)
+//
+//xnuma:noalloc
 func (p Path) StreamCap(d Disk) float64 {
 	switch p {
 	case PathNative:
@@ -157,6 +159,8 @@ type Stream struct {
 // Delivered returns the bytes/s the stream actually receives on path p
 // and the resulting progress factor (delivered/demand, ≤ 1) for the
 // application's threads.
+//
+//xnuma:noalloc
 func (s Stream) Delivered(p Path, d Disk) (bps, progress float64) {
 	if s.DemandBps <= 0 {
 		return 0, 1

@@ -48,9 +48,13 @@ var (
 )
 
 // NativeCost returns the native IPI round-trip cost (~0.9 µs).
+//
+//xnuma:noalloc
 func NativeCost() sim.Time { return nativeCost }
 
 // GuestCost returns the virtualized IPI round-trip cost (~10.9 µs).
+//
+//xnuma:noalloc
 func GuestCost() sim.Time { return guestCost }
 
 func total(guest bool) sim.Time {
@@ -78,6 +82,8 @@ type Model struct {
 }
 
 // WakeupCost returns the cost of one blocked-waiter wakeup.
+//
+//xnuma:noalloc
 func (m Model) WakeupCost() sim.Time {
 	if m.Virtualized {
 		return GuestCost()
@@ -92,6 +98,8 @@ func (m Model) WakeupCost() sim.Time {
 // several IPI round trips). usesPthread reports whether the application's
 // blocking goes through pthread primitives (and is therefore removed by
 // the MCS mitigation).
+//
+//xnuma:noalloc
 func (m Model) OverheadFraction(ctxPerSec, amplification float64, usesPthread bool) float64 {
 	if ctxPerSec <= 0 {
 		return 0

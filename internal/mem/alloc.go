@@ -225,8 +225,10 @@ func (a *Allocator) LargestFree(node numa.NodeID) int {
 func (a *Allocator) FreeBlocks(node numa.NodeID) []FreeBlock {
 	na := &a.nodes[node]
 	out := make([]FreeBlock, 0, len(na.freeSet))
-	for b, o := range na.freeSet {
-		out = append(out, FreeBlock{Start: b, Order: o})
+	for o := range na.freeList {
+		for _, b := range na.freeList[o] {
+			out = append(out, FreeBlock{Start: b, Order: o})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out

@@ -1,0 +1,54 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// churn drives the allocator through a deterministic alloc/free pattern
+// that fragments node 0's free lists across several orders.
+func churn(t *testing.T) *Allocator {
+	t.Helper()
+	a := NewAllocator(numa.SmallMachine(2, 2, 256<<20))
+	var held []MFN
+	for i := 0; i < 64; i++ {
+		mfn, err := a.Alloc(0, Order4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, mfn)
+	}
+	// Free every other frame so the buddy allocator keeps singletons at
+	// low orders instead of coalescing everything back.
+	for i := 0; i < len(held); i += 2 {
+		a.Free(held[i], Order4K)
+	}
+	return a
+}
+
+// TestFreeBlocksDeterministic is the regression test for the
+// FreeBlocks map-iteration finding: the snapshot is now built from the
+// per-order free lists. It must stay sorted, mirror the free-byte
+// accounting exactly, and be identical across identical runs.
+func TestFreeBlocksDeterministic(t *testing.T) {
+	a := churn(t)
+	blocks := churn(t).FreeBlocks(0)
+	again := a.FreeBlocks(0)
+	if len(blocks) != len(again) {
+		t.Fatalf("snapshot lengths differ between identical runs: %d vs %d", len(blocks), len(again))
+	}
+	var freeBytes int64
+	for i, b := range blocks {
+		if again[i] != b {
+			t.Fatalf("block %d differs between identical runs: %+v vs %+v", i, b, again[i])
+		}
+		if i > 0 && blocks[i-1].Start >= b.Start {
+			t.Fatalf("snapshot not sorted: block %d start %d after %d", i, b.Start, blocks[i-1].Start)
+		}
+		freeBytes += (1 << b.Order) * PageSize
+	}
+	if got := a.FreeBytes(0); freeBytes != got {
+		t.Fatalf("snapshot covers %d free bytes, accounting says %d", freeBytes, got)
+	}
+}

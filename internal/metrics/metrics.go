@@ -56,6 +56,8 @@ func NewEpochLoad(topo *numa.Topology, epochSeconds, ctrlBW float64) *EpochLoad 
 }
 
 // Reset clears the accumulator for the next epoch.
+//
+//xnuma:noalloc
 func (l *EpochLoad) Reset() {
 	for i := range l.accesses {
 		for j := range l.accesses[i] {
@@ -72,6 +74,8 @@ func (l *EpochLoad) Reset() {
 
 // AddAccesses records n memory accesses from CPUs on src to memory on
 // dst, charging the traversed links.
+//
+//xnuma:noalloc
 func (l *EpochLoad) AddAccesses(src, dst numa.NodeID, n float64) {
 	l.accesses[src][dst] += n
 	if src != dst {
@@ -84,6 +88,8 @@ func (l *EpochLoad) AddAccesses(src, dst numa.NodeID, n float64) {
 
 // AddDMA records a DMA stream of the given bytes from the I/O bus on
 // ioNode into memory on dst.
+//
+//xnuma:noalloc
 func (l *EpochLoad) AddDMA(ioNode, dst numa.NodeID, bytes float64) {
 	l.dmaBytes[dst] += bytes
 	if ioNode != dst {
@@ -94,6 +100,8 @@ func (l *EpochLoad) AddDMA(ioNode, dst numa.NodeID, bytes float64) {
 }
 
 // CtrlUtil returns the utilization of node's memory controller in [0,1].
+//
+//xnuma:noalloc
 func (l *EpochLoad) CtrlUtil(node numa.NodeID) float64 {
 	var bytes float64
 	for src := range l.accesses {
@@ -109,6 +117,8 @@ func (l *EpochLoad) CtrlUtil(node numa.NodeID) float64 {
 
 // FillCtrlUtil writes every node's controller utilization into dst
 // (len = node count), letting per-epoch callers reuse one buffer.
+//
+//xnuma:noalloc
 func (l *EpochLoad) FillCtrlUtil(dst []float64) {
 	for n := range dst {
 		dst[n] = l.CtrlUtil(numa.NodeID(n))
@@ -116,6 +126,8 @@ func (l *EpochLoad) FillCtrlUtil(dst []float64) {
 }
 
 // LinkUtil returns the utilization of link index li in [0,1].
+//
+//xnuma:noalloc
 func (l *EpochLoad) LinkUtil(li int) float64 {
 	u := l.linkBytes[li] / (l.topo.Links[li].BandwidthBps * l.epochSeconds)
 	if u > 1 {
@@ -125,6 +137,8 @@ func (l *EpochLoad) LinkUtil(li int) float64 {
 }
 
 // MaxLinkUtil returns the utilization of the most loaded link.
+//
+//xnuma:noalloc
 func (l *EpochLoad) MaxLinkUtil() float64 {
 	var max float64
 	for i := range l.linkBytes {
@@ -137,6 +151,8 @@ func (l *EpochLoad) MaxLinkUtil() float64 {
 
 // PathLinkUtil returns the highest utilization among the links on the
 // route from src to dst (0 when src == dst).
+//
+//xnuma:noalloc
 func (l *EpochLoad) PathLinkUtil(src, dst numa.NodeID) float64 {
 	var max float64
 	for _, li := range l.topo.RouteLinks(src, dst) {
@@ -148,6 +164,8 @@ func (l *EpochLoad) PathLinkUtil(src, dst numa.NodeID) float64 {
 }
 
 // NodeAccesses returns the access count against node's memory this epoch.
+//
+//xnuma:noalloc
 func (l *EpochLoad) NodeAccesses(node numa.NodeID) float64 {
 	var n float64
 	for src := range l.accesses {
@@ -181,6 +199,8 @@ func NewRunStats(topo *numa.Topology) *RunStats {
 }
 
 // Observe folds one epoch's load into the run statistics.
+//
+//xnuma:noalloc
 func (s *RunStats) Observe(l *EpochLoad) {
 	for dst := 0; dst < s.topo.NumNodes(); dst++ {
 		n := l.NodeAccesses(numa.NodeID(dst))

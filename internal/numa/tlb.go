@@ -32,6 +32,8 @@ func DefaultTLB() TLBModel {
 // MissRate returns the probability that an access to a working set of
 // workingSetBytes misses the TLB when the address space is mapped with
 // the given page size (4 KiB or 2 MiB pages).
+//
+//xnuma:noalloc
 func (m TLBModel) MissRate(workingSetBytes float64, largePages bool) float64 {
 	pageBytes, entries := 4096.0, float64(m.Entries4K)
 	if largePages {
@@ -46,6 +48,8 @@ func (m TLBModel) MissRate(workingSetBytes float64, largePages bool) float64 {
 
 // WalkPenaltyCycles returns the average per-access translation cost in
 // cycles for the given working set, page size and execution mode.
+//
+//xnuma:noalloc
 func (m TLBModel) WalkPenaltyCycles(workingSetBytes float64, largePages, virtualized bool) float64 {
 	walk := float64(m.WalkCycles)
 	if virtualized {

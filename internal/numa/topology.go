@@ -102,6 +102,8 @@ func DefaultLatency() LatencyModel {
 
 // BaseCycles returns the uncontended DRAM access cost for a given hop
 // count.
+//
+//xnuma:noalloc
 func (l LatencyModel) BaseCycles(hops int) int {
 	switch hops {
 	case 0:
@@ -120,6 +122,8 @@ func (l LatencyModel) BaseCycles(hops int) int {
 // The contended penalty is modeled on the controller of the target node
 // (absolute cycles added, independent of distance — queueing happens at
 // the controller) plus a link term proportional to the hop base.
+//
+//xnuma:noalloc
 func (l LatencyModel) AccessCycles(hops int, ctrlUtil, linkUtil float64) float64 {
 	base := float64(l.BaseCycles(hops))
 	ctrlUtil = clamp01(ctrlUtil)
@@ -133,8 +137,11 @@ func (l LatencyModel) AccessCycles(hops int, ctrlUtil, linkUtil float64) float64
 }
 
 // CyclesToNanos converts cycles to nanoseconds under the model frequency.
+//
+//xnuma:noalloc
 func (l LatencyModel) CyclesToNanos(c float64) float64 { return c / l.FreqGHz }
 
+//xnuma:noalloc
 func clamp01(x float64) float64 {
 	if x < 0 {
 		return 0
@@ -145,6 +152,7 @@ func clamp01(x float64) float64 {
 	return x
 }
 
+//xnuma:noalloc
 func pow(x, p float64) float64 {
 	if p == 2.0 {
 		return x * x
@@ -159,6 +167,8 @@ func pow(x, p float64) float64 {
 }
 
 // NumNodes returns the node count.
+//
+//xnuma:noalloc
 func (t *Topology) NumNodes() int { return len(t.Nodes) }
 
 // NumCPUs returns the machine-wide CPU count.
@@ -177,6 +187,8 @@ func (t *Topology) Distance(a, b NodeID) int { return t.distance[a][b] }
 
 // RouteLinks returns the indices (into Links) of the links traversed from
 // a to b. Empty for a == b.
+//
+//xnuma:noalloc
 func (t *Topology) RouteLinks(a, b NodeID) []int { return t.route[a][b] }
 
 // TotalMemory returns the machine memory in bytes.

@@ -28,6 +28,8 @@ func (r *Rand) Split() *Rand {
 }
 
 // Uint64 returns the next 64 random bits.
+//
+//xnuma:noalloc
 func (r *Rand) Uint64() uint64 {
 	x := r.state
 	x ^= x >> 12
@@ -38,6 +40,8 @@ func (r *Rand) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//xnuma:noalloc
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
@@ -51,6 +55,8 @@ func (r *Rand) Int63() int64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//xnuma:noalloc
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }

@@ -125,6 +125,8 @@ func (p *Profile) Validate() error {
 // that one work unit also issues exactly one LLC miss: a fully
 // memory-bound application (MemIntensity→1) has almost no compute per
 // miss.
+//
+//xnuma:noalloc
 func (p *Profile) CPUNsPerUnit() float64 {
 	const localMissNs = 71.0 // 156 cycles at 2.2 GHz
 	mi := p.MemIntensity

@@ -2,6 +2,7 @@ package xen
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 	"repro/internal/numa"
@@ -132,14 +133,23 @@ func (d *Domain) populate() error {
 	return d.bootPlacer(d)
 }
 
-// releaseFrames returns all machine memory to the allocator.
+// releaseFrames returns all machine memory to the allocator. Frames are
+// freed in ascending PFN order: each Free reshapes the buddy free
+// lists, so freeing in map order would leave the allocator in a
+// run-dependent state and make every allocation after a domain destroy
+// nondeterministic.
 func (d *Domain) releaseFrames() {
 	for _, f := range d.frames {
 		d.hv.Alloc.Free(f.mfn, f.order)
 	}
 	d.frames = nil
-	for pfn, mfn := range d.ownedPages {
-		d.hv.Alloc.Free(mfn, mem.Order4K)
+	pfns := make([]mem.PFN, 0, len(d.ownedPages))
+	for pfn := range d.ownedPages {
+		pfns = append(pfns, pfn)
+	}
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+	for _, pfn := range pfns {
+		d.hv.Alloc.Free(d.ownedPages[pfn], mem.Order4K)
 		delete(d.ownedPages, pfn)
 	}
 }

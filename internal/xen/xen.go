@@ -153,7 +153,7 @@ func (h *Hypervisor) Domain(id DomID) *Domain { return h.domains[id] }
 // Domains returns all live domains sorted by id.
 func (h *Hypervisor) Domains() []*Domain {
 	out := make([]*Domain, 0, len(h.domains))
-	for _, d := range h.domains {
+	for _, d := range h.domains { //xnuma:maporder-ok collected set is order-free and fully sorted by unique domain ID below
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
