@@ -1,0 +1,38 @@
+package xennuma
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBatchKernelMatchesReference pins the batched epoch kernel — the
+// shared cost-matrix fill, the hoisted run constants, the fold-skip and
+// the runner row arena — against the per-instance reference kernel
+// (Options.noBatch): every transform is value-preserving, so a
+// representative suite cell must produce bit-for-bit identical results
+// down both paths. The cell mirrors the golden configuration (two-VM
+// consolidated pair plus a native run: Carrefour migrations, misleading
+// bursts, disk DMA and the TLB model all live).
+func TestBatchKernelMatchesReference(t *testing.T) {
+	run := func(noBatch bool) []goldenResult {
+		o := Options{Scale: 64, Seed: 7, XenPlus: true, TLB: true, LargePages: true, noBatch: noBatch}
+		a, b, err := RunXenPair("facesim", MustPolicy("first-touch/carrefour"),
+			"psearchy", MustPolicy("round-4k/carrefour"), Consolidated, false, o)
+		if err != nil {
+			t.Fatalf("RunXenPair: %v", err)
+		}
+		c, err := RunLinux("dc.B", MustPolicy("first-touch/carrefour"), o)
+		if err != nil {
+			t.Fatalf("RunLinux: %v", err)
+		}
+		return []goldenResult{toGolden(a), toGolden(b), toGolden(c)}
+	}
+	batched := run(false)
+	reference := run(true)
+	for i := range batched {
+		if !reflect.DeepEqual(batched[i], reference[i]) {
+			t.Errorf("result %d diverges:\nbatched:   %+v\nreference: %+v",
+				i, batched[i], reference[i])
+		}
+	}
+}

@@ -95,6 +95,12 @@ type Region struct {
 	distDirty   bool
 	accessDirty bool
 	hotDirty    bool
+
+	// gen counts placement mutations. refreshStreams sums the gens of
+	// an instance's regions to detect that nothing moved since the last
+	// fold and skip the table rebuild entirely (steady-state epochs
+	// between Carrefour ticks).
+	gen uint64
 }
 
 // NewRegion returns an empty region for a machine with nNodes nodes.
@@ -110,6 +116,7 @@ func NewRegion(name string, kind RegionKind, owner, nNodes int) *Region {
 // mutation.
 func (r *Region) invalidate() {
 	r.distDirty, r.accessDirty, r.hotDirty = true, true, true
+	r.gen++
 }
 
 // SetAccessHead declares that accesses concentrate on the first limit
@@ -325,6 +332,20 @@ type Instance struct {
 	footprintBytes float64
 	ioStream       iosim.Stream
 
+	// Per-instance run constants, hoisted out of the fixed-point
+	// iterations by setup: the profile's compute cost per work unit,
+	// the CPU-overhead fraction (IPIs, churn, sampling — all inputs are
+	// run-constant), the per-access TLB walk penalty (zero when the run
+	// has no TLB model), and the I/O stream's per-epoch DMA emission
+	// (iosim.Stream.Delivered is pure, so its outputs never change).
+	cpuNsPerUnit float64
+	overhead     float64
+	tlbCycles    float64
+	ioProgress   float64
+	ioPerTarget  float64
+	ioTargets    []numa.NodeID
+	ioTargetBuf  [1]numa.NodeID
+
 	// streamTab is the epoch's access-stream table, rebuilt by
 	// refreshStreams at the top of every epoch; distAll is the scratch
 	// buffer backing its cross-slice combined distribution; rows is the
@@ -333,6 +354,14 @@ type Instance struct {
 	streamTab streamTable
 	distAll   []float64
 	rows      []float64
+
+	// Fold-skip state: the region-gen sum and live-thread count the
+	// current rows were folded from. When neither moved, refreshStreams
+	// skips the rebuild — the fold's inputs (placement distributions,
+	// thread homes, profile weights) are all value-stable.
+	foldSum   uint64
+	foldLive  int
+	foldValid bool
 
 	// burst state (Carrefour-misleading temporary remote accesses).
 	burstLeft   int

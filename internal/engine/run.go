@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/carrefour"
 	"repro/internal/iosim"
@@ -34,6 +35,13 @@ type Config struct {
 	// access (the paper's §7 large-page extension). Nil preserves the
 	// paper's baseline, which does not model TLBs.
 	TLB *numa.TLBModel
+	// NoBatch selects the per-instance reference kernel: direct
+	// AccessCycles/PathLinkUtil calls for every cost-matrix cell,
+	// per-instance row buffers instead of the runner arena, and a full
+	// stream-table rebuild every epoch. Results are bit-for-bit
+	// identical to the batched kernel — it exists so the equivalence
+	// tests can pin that, not for production sweeps.
+	NoBatch bool
 }
 
 // DefaultConfig returns the standard configuration for a machine scaled
@@ -100,16 +108,31 @@ type runner struct {
 
 	// Run-constant node geometry, hoisted out of the fixed-point loop:
 	// nNodes is the node count and hops[src*nNodes+dst] the interconnect
-	// hop count (Topo.Distance never changes during a run).
-	nNodes int
-	hops   []int
+	// hop count (Topo.Distance never changes during a run). cost is the
+	// shared pair cost model for cfg.Topo (base cycles and contention
+	// coefficients), fetched from a process-wide cache so every runner
+	// on the same topology — the whole sweep batch — reuses one;
+	// freqGHz mirrors the latency model's frequency so the hot loop
+	// converts cycles to nanoseconds without copying the model.
+	nNodes  int
+	hops    []int
+	cost    *numa.AccessCostModel
+	freqGHz float64
+
+	// rowArena packs every instance's folded per-thread node rows into
+	// one contiguous block (in.rows slices alias it), so the fixed-point
+	// walk over a whole cell is one linear pass instead of per-instance
+	// pointer chasing. The reference kernel (Config.NoBatch) leaves
+	// instances on private buffers instead.
+	rowArena []float64
 
 	// Scratch buffers, reused so steady-state epochs allocate nothing.
-	ioTarget [1]numa.NodeID // single-node DMA target of ioFactor
 	//xnuma:scratch
 	movePairs [][2]numa.NodeID // sorted pendingMoveBytes keys
 	tickUtil  []float64        // controller-utilization copy for Carrefour ticks
 	cycles    []float64        // per-(src,dst) access cost, filled each iteration
+	linkUtil  []float64        // per-link utilization snapshot, one per iteration
+	ctrlPen   []float64        // per-destination controller penalty, one per iteration
 
 	// Carrefour-tick scratch: the tick rebuilds the sampler view from
 	// the stream table every interval, so the backing stores are reused.
@@ -129,6 +152,10 @@ func (r *runner) setup() error {
 	r.nNodes = n
 	r.hops = make([]int, n*n)
 	r.cycles = make([]float64, n*n)
+	r.linkUtil = make([]float64, len(r.cfg.Topo.Links))
+	r.ctrlPen = make([]float64, n)
+	r.cost = costModelFor(r.cfg.Topo)
+	r.freqGHz = r.cfg.Topo.Latency.FreqGHz
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			r.hops[src*n+dst] = r.cfg.Topo.Distance(numa.NodeID(src), numa.NodeID(dst))
@@ -154,12 +181,53 @@ func (r *runner) setup() error {
 		if err := r.buildInstance(in); err != nil {
 			return err
 		}
+		r.hoistRunConstants(in, epochSec)
+	}
+	if !r.cfg.NoBatch {
+		total := 0
+		for _, in := range r.insts {
+			total += in.NThreads * n
+		}
+		r.rowArena = make([]float64, total)
+		off := 0
+		for _, in := range r.insts {
+			sz := in.NThreads * n
+			in.rows = r.rowArena[off : off+sz : off+sz]
+			off += sz
+		}
 	}
 	r.initTimes = make([]sim.Time, len(r.insts))
 	for i, in := range r.insts {
 		r.initTimes[i] = r.materialize(in)
 	}
 	return nil
+}
+
+// hoistRunConstants precomputes the per-instance values the fixed-point
+// iterations used to re-derive every pass: they depend only on the
+// profile, the backend and the run configuration, none of which change
+// after setup. Each hoisted expression is kept verbatim so the values
+// are bit-for-bit what the inline computation produced.
+func (r *runner) hoistRunConstants(in *Instance, epochSec float64) {
+	in.cpuNsPerUnit = in.Prof.CPUNsPerUnit()
+	in.overhead = r.overheadFrac(in)
+	if r.cfg.TLB != nil {
+		ws := in.footprintBytes * in.Prof.WorkingSet / float64(in.NThreads)
+		in.tlbCycles = r.cfg.TLB.WalkPenaltyCycles(ws, in.LargePages, in.Backend.Virtualized())
+	}
+	if in.ioStream.DemandBps > 0 {
+		path, _ := in.Backend.IO()
+		delivered, progress := in.ioStream.Delivered(path, r.cfg.Disk)
+		in.ioProgress = progress
+		bytes := delivered * epochSec
+		targets := in.ioStream.HomeNodes
+		if in.ioStream.Placement != iosim.BufferScattered || len(targets) == 0 {
+			in.ioTargetBuf[0] = in.ioStream.BufferNode
+			targets = in.ioTargetBuf[:]
+		}
+		in.ioTargets = targets
+		in.ioPerTarget = bytes / float64(len(targets))
+	}
 }
 
 // buildInstance creates threads and sizes regions.
@@ -314,7 +382,7 @@ func (r *runner) loop() {
 func (r *runner) epoch(step int) {
 	for _, in := range r.insts {
 		if !in.done {
-			in.refreshStreams()
+			in.refreshStreams(r.cfg.NoBatch)
 		}
 	}
 	// Damped fixed-point iterations couple access rates and latency
@@ -367,7 +435,6 @@ func (r *runner) fillLoads(record bool) {
 			continue
 		}
 		ioFactor := r.ioFactor(in, record, il)
-		overhead := r.overheadFrac(in)
 		var totalMisses float64
 		for ti, t := range in.Threads {
 			if t.Done {
@@ -378,8 +445,8 @@ func (r *runner) fillLoads(record bool) {
 			if avail < 0 {
 				avail = 0
 			}
-			eff := avail * (1 - overhead) * ioFactor
-			units := eff / (in.Prof.CPUNsPerUnit() + t.latNs)
+			eff := avail * (1 - in.overhead) * ioFactor
+			units := eff / (in.cpuNsPerUnit + t.latNs)
 			if record {
 				r.units[i][ti] = units
 			}
@@ -434,31 +501,23 @@ func (r *runner) fillLoads(record bool) {
 	}
 }
 
-// ioFactor returns the progress multiplier from disk throughput and
-// charges DMA traffic.
+// ioFactor charges the instance's precomputed per-epoch DMA traffic
+// and returns the progress multiplier. The stream's delivery is pure in
+// run-constant inputs, so everything but the AddDMA emission was hoisted
+// into setup (hoistRunConstants).
 //
 //xnuma:noalloc
 func (r *runner) ioFactor(in *Instance, record bool, il *metrics.EpochLoad) float64 {
 	if in.ioStream.DemandBps <= 0 {
 		return 1
 	}
-	path, _ := in.Backend.IO()
-	delivered, progress := in.ioStream.Delivered(path, r.cfg.Disk)
-	epochSec := float64(r.cfg.Epoch) / 1e9
-	bytes := delivered * epochSec
-	targets := in.ioStream.HomeNodes
-	if in.ioStream.Placement != iosim.BufferScattered || len(in.ioStream.HomeNodes) == 0 {
-		r.ioTarget[0] = in.ioStream.BufferNode
-		targets = r.ioTarget[:]
-	}
-	per := bytes / float64(len(targets))
-	for _, n := range targets {
-		r.load.AddDMA(r.cfg.Disk.Node, n, per)
+	for _, n := range in.ioTargets {
+		r.load.AddDMA(r.cfg.Disk.Node, n, in.ioPerTarget)
 		if record {
-			il.AddDMA(r.cfg.Disk.Node, n, per)
+			il.AddDMA(r.cfg.Disk.Node, n, in.ioPerTarget)
 		}
 	}
-	return progress
+	return in.ioProgress
 }
 
 // overheadFrac is the fraction of CPU time lost to virtualized IPIs,
@@ -487,6 +546,71 @@ func (r *runner) overheadFrac(in *Instance) float64 {
 //
 //xnuma:noalloc
 func (r *runner) updateLatencies() {
+	if r.cfg.NoBatch {
+		r.fillCyclesReference()
+	} else {
+		r.fillCycles()
+	}
+	nn := r.nNodes
+	for _, in := range r.insts {
+		if in.done {
+			continue
+		}
+		for _, t := range in.Threads {
+			if t.Done {
+				continue
+			}
+			costs := r.cycRow(t.Node)
+			var cyc float64
+			for n, share := range in.row(t.ID, nn) {
+				if share > 0 {
+					cyc += share * costs[n]
+				}
+			}
+			cyc += in.tlbCycles
+			t.latNs = 0.5*t.latNs + 0.5*(cyc/r.freqGHz)
+		}
+	}
+}
+
+// fillCycles fills the per-iteration (src, dst) cost matrix from the
+// shared run-constant cost model: controller and link utilizations are
+// snapshotted once per iteration (one division per link instead of one
+// per pair-route-link), the controller penalty computed once per
+// destination node, and each pair reduces to a max over its route's
+// snapshot entries plus the model's two coefficient terms. Bit-for-bit
+// identical to fillCyclesReference.
+//
+//xnuma:noalloc
+func (r *runner) fillCycles() {
+	r.load.FillCtrlUtil(r.ctrlUtil)
+	r.load.FillLinkUtil(r.linkUtil)
+	nn := r.nNodes
+	for dst := 0; dst < nn; dst++ {
+		r.ctrlPen[dst] = r.cost.CtrlPenalty(r.ctrlUtil[dst])
+	}
+	topo := r.cfg.Topo
+	for src := 0; src < nn; src++ {
+		row := r.cycles[src*nn : (src+1)*nn]
+		for dst := 0; dst < nn; dst++ {
+			var link float64
+			for _, li := range topo.RouteLinks(numa.NodeID(src), numa.NodeID(dst)) {
+				if u := r.linkUtil[li]; u > link {
+					link = u
+				}
+			}
+			row[dst] = r.cost.PairCycles(numa.NodeID(src), numa.NodeID(dst), r.ctrlPen[dst], link)
+		}
+	}
+}
+
+// fillCyclesReference is the per-pair reference fill: direct
+// AccessCycles and PathLinkUtil calls, nothing factored or shared.
+// Config.NoBatch selects it so the equivalence tests can pin the
+// batched kernel's output against it bit-for-bit.
+//
+//xnuma:noalloc
+func (r *runner) fillCyclesReference() {
 	lm := r.cfg.Topo.Latency
 	r.load.FillCtrlUtil(r.ctrlUtil)
 	nn := r.nNodes
@@ -496,28 +620,33 @@ func (r *runner) updateLatencies() {
 			r.cycles[src*nn+dst] = lm.AccessCycles(r.hops[src*nn+dst], r.ctrlUtil[dst], link)
 		}
 	}
-	for _, in := range r.insts {
-		if in.done {
-			continue
-		}
-		for _, t := range in.Threads {
-			if t.Done {
-				continue
-			}
-			costs := r.cycles[int(t.Node)*nn : (int(t.Node)+1)*nn]
-			var cyc float64
-			for n, share := range in.row(t.ID, nn) {
-				if share > 0 {
-					cyc += share * costs[n]
-				}
-			}
-			if r.cfg.TLB != nil {
-				ws := in.footprintBytes * in.Prof.WorkingSet / float64(in.NThreads)
-				cyc += r.cfg.TLB.WalkPenaltyCycles(ws, in.LargePages, in.Backend.Virtualized())
-			}
-			t.latNs = 0.5*t.latNs + 0.5*lm.CyclesToNanos(cyc)
-		}
+}
+
+// cycRow returns source node src's row of the current iteration's cost
+// matrix. Like Instance.row, the slice aliases runner scratch
+// (r.cycles) that the next fillCycles pass overwrites: callers may
+// reduce against it within the iteration, never retain it.
+//
+//xnuma:noalloc
+func (r *runner) cycRow(src numa.NodeID) []float64 {
+	nn := r.nNodes
+	return r.cycles[int(src)*nn : (int(src)+1)*nn]
+}
+
+// costModels caches one AccessCostModel per topology pointer. Built
+// topologies are immutable for the life of a sweep and sweep cells on
+// the same scale share one *Topology, so every concurrent runner reuses
+// the same model instead of rebuilding two n² coefficient tables per
+// cell.
+var costModels sync.Map // *numa.Topology -> *numa.AccessCostModel
+
+// costModelFor returns the shared cost model for t, building it once.
+func costModelFor(t *numa.Topology) *numa.AccessCostModel {
+	if m, ok := costModels.Load(t); ok {
+		return m.(*numa.AccessCostModel)
 	}
+	m, _ := costModels.LoadOrStore(t, numa.NewAccessCostModel(t))
+	return m.(*numa.AccessCostModel)
 }
 
 // progress applies the recorded units, consumes debt, and detects

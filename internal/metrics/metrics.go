@@ -136,6 +136,17 @@ func (l *EpochLoad) LinkUtil(li int) float64 {
 	return u
 }
 
+// FillLinkUtil writes every link's utilization into dst (len = link
+// count), letting per-epoch callers snapshot all links with one
+// division each instead of re-deriving them per node pair.
+//
+//xnuma:noalloc
+func (l *EpochLoad) FillLinkUtil(dst []float64) {
+	for i := range dst {
+		dst[i] = l.LinkUtil(i)
+	}
+}
+
 // MaxLinkUtil returns the utilization of the most loaded link.
 //
 //xnuma:noalloc

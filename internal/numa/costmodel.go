@@ -1,0 +1,80 @@
+package numa
+
+// AccessCostModel is the run-constant part of AccessCycles, factored
+// out per (src, dst) node pair so per-iteration cost-matrix fills pay
+// only for what actually changes between iterations (controller and
+// link utilizations). A topology's hop structure, base cycles and
+// contention coefficients never change once built, so one model is
+// shared by every runner on the same topology.
+//
+// The factoring is bit-for-bit identical to AccessCycles: the
+// coefficient products are grouped exactly as the original
+// left-to-right evaluation groups them
+// (TestAccessCostModelMatchesAccessCycles).
+type AccessCostModel struct {
+	nn int
+	// base[src*nn+dst] is the uncontended access cost for the pair's
+	// hop count, in cycles.
+	base []float64
+	// linkCoef[src*nn+dst] is base · LinkContention, the link-penalty
+	// coefficient; zero for local pairs (hops == 0 pays no link term).
+	linkCoef []float64
+	// ctrlCoef is LocalCycles · CtrlContention, the controller-penalty
+	// coefficient (independent of distance: queueing happens at the
+	// target controller).
+	ctrlCoef float64
+	ctrlExp  float64
+	linkExp  float64
+}
+
+// NewAccessCostModel precomputes the pair cost coefficients of t's
+// latency model.
+func NewAccessCostModel(t *Topology) *AccessCostModel {
+	l := t.Latency
+	nn := t.NumNodes()
+	m := &AccessCostModel{
+		nn:       nn,
+		base:     make([]float64, nn*nn),
+		linkCoef: make([]float64, nn*nn),
+		ctrlCoef: float64(l.LocalCycles) * l.CtrlContention,
+		ctrlExp:  l.CtrlExponent,
+		linkExp:  l.LinkExponent,
+	}
+	for src := 0; src < nn; src++ {
+		for dst := 0; dst < nn; dst++ {
+			hops := t.Distance(NodeID(src), NodeID(dst))
+			base := float64(l.BaseCycles(hops))
+			p := src*nn + dst
+			m.base[p] = base
+			if hops > 0 {
+				m.linkCoef[p] = base * l.LinkContention
+			}
+		}
+	}
+	return m
+}
+
+// CtrlPenalty returns the controller-contention penalty in cycles for a
+// destination controller at ctrlUtil utilization. It depends only on
+// the destination, so per-iteration fills compute it once per node, not
+// once per pair.
+//
+//xnuma:noalloc
+func (m *AccessCostModel) CtrlPenalty(ctrlUtil float64) float64 {
+	return m.ctrlCoef * pow(clamp01(ctrlUtil), m.ctrlExp)
+}
+
+// PairCycles returns the access cost in cycles for the (src, dst) pair,
+// given the destination's precomputed controller penalty and the worst
+// link utilization on the route. Bit-for-bit equal to
+// Latency.AccessCycles(Distance(src, dst), ctrlUtil, linkUtil).
+//
+//xnuma:noalloc
+func (m *AccessCostModel) PairCycles(src, dst NodeID, ctrlPenalty, linkUtil float64) float64 {
+	p := int(src)*m.nn + int(dst)
+	c := m.base[p] + ctrlPenalty
+	if coef := m.linkCoef[p]; coef != 0 {
+		c += coef * pow(clamp01(linkUtil), m.linkExp)
+	}
+	return c
+}

@@ -1,0 +1,65 @@
+package numa
+
+import "testing"
+
+// TestAccessCostModelMatchesAccessCycles pins the factored pair model
+// to the reference: for every node pair and a grid of controller/link
+// utilizations (including out-of-range values the clamp must absorb),
+// PairCycles must equal AccessCycles bit-for-bit — the engine's batched
+// cost fill substitutes one for the other and the golden fixture
+// tolerates zero drift from that substitution.
+func TestAccessCostModelMatchesAccessCycles(t *testing.T) {
+	topos := map[string]*Topology{
+		"amd48": AMD48Scaled(64),
+		"small": SmallMachine(4, 2, 1<<30),
+	}
+	utils := []float64{-0.5, 0, 0.001, 0.25, 0.5, 0.997, 1, 1.5}
+	for name, topo := range topos {
+		m := NewAccessCostModel(topo)
+		lm := topo.Latency
+		nn := topo.NumNodes()
+		for src := 0; src < nn; src++ {
+			for dst := 0; dst < nn; dst++ {
+				hops := topo.Distance(NodeID(src), NodeID(dst))
+				for _, cu := range utils {
+					pen := m.CtrlPenalty(cu)
+					for _, lu := range utils {
+						got := m.PairCycles(NodeID(src), NodeID(dst), pen, lu)
+						want := lm.AccessCycles(hops, cu, lu)
+						if got != want {
+							t.Fatalf("%s (%d,%d) ctrl=%v link=%v: PairCycles = %v, AccessCycles = %v",
+								name, src, dst, cu, lu, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAccessCostModelNonDefaultExponents covers the non-squared pow
+// path: a cubic contention exponent must still match the reference.
+func TestAccessCostModelNonDefaultExponents(t *testing.T) {
+	topo := SmallMachine(4, 2, 1<<30)
+	topo.Latency.CtrlExponent = 3
+	topo.Latency.LinkExponent = 1
+	m := NewAccessCostModel(topo)
+	lm := topo.Latency
+	nn := topo.NumNodes()
+	for src := 0; src < nn; src++ {
+		for dst := 0; dst < nn; dst++ {
+			hops := topo.Distance(NodeID(src), NodeID(dst))
+			for _, cu := range []float64{0, 0.3, 0.9, 1} {
+				pen := m.CtrlPenalty(cu)
+				for _, lu := range []float64{0, 0.4, 1} {
+					got := m.PairCycles(NodeID(src), NodeID(dst), pen, lu)
+					want := lm.AccessCycles(hops, cu, lu)
+					if got != want {
+						t.Fatalf("(%d,%d) ctrl=%v link=%v: PairCycles = %v, AccessCycles = %v",
+							src, dst, cu, lu, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ package xennuma
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/carrefour"
 	"repro/internal/engine"
@@ -96,6 +97,26 @@ type Options struct {
 	// Replication enables Carrefour's replication heuristic, which the
 	// paper deliberately leaves out (§3.4); off by default.
 	Replication bool
+	// noBatch selects the engine's per-instance reference kernel, for
+	// the batched-kernel equivalence tests. Unexported on purpose: it is
+	// bit-for-bit identical to the default, just slower.
+	noBatch bool
+}
+
+// topoCache shares one immutable AMD48 topology per scale: every sweep
+// cell on the same scale then reuses one node/link graph and, further
+// down, one engine cost model, instead of rebuilding them per run.
+// Built topologies are never written after construction (the backends
+// only read them), so sharing is safe across concurrent runs.
+var topoCache sync.Map // int -> *numa.Topology
+
+// scaledTopo returns the shared AMD48 topology for scale.
+func scaledTopo(scale int) *numa.Topology {
+	if t, ok := topoCache.Load(scale); ok {
+		return t.(*numa.Topology)
+	}
+	t, _ := topoCache.LoadOrStore(scale, numa.AMD48Scaled(scale))
+	return t.(*numa.Topology)
 }
 
 func (o Options) normalized() Options {
@@ -126,7 +147,7 @@ func RunXen(app string, pol Policy, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	topo := numa.AMD48Scaled(o.Scale)
+	topo := scaledTopo(o.Scale)
 	hv, err := newHypervisor(topo, o)
 	if err != nil {
 		return Result{}, err
@@ -149,6 +170,7 @@ func engineConfig(topo *numa.Topology, o Options) engine.Config {
 	cfg.Seed = o.Seed
 	cfg.MaxTime = o.MaxTime
 	cfg.Carrefour.EnableReplication = o.Replication
+	cfg.NoBatch = o.noBatch
 	if o.TLB {
 		tlb := numa.DefaultTLB()
 		cfg.TLB = &tlb
@@ -164,7 +186,7 @@ func RunLinux(app string, pol Policy, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	topo := numa.AMD48Scaled(o.Scale)
+	topo := scaledTopo(o.Scale)
 	b, err := linux.New(topo, pol)
 	if err != nil {
 		return Result{}, err
@@ -211,7 +233,7 @@ func RunXenPair(app1 string, pol1 Policy, app2 string, pol2 Policy, mode PairMod
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	topo := numa.AMD48Scaled(o.Scale)
+	topo := scaledTopo(o.Scale)
 	hv, err := newHypervisor(topo, o)
 	if err != nil {
 		return Result{}, Result{}, err
