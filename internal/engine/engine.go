@@ -355,6 +355,16 @@ type Instance struct {
 	distAll   []float64
 	rows      []float64
 
+	// Row-dedup groups, rebuilt with the rows: live threads on the same
+	// node whose folded rows are bitwise identical collapse into one
+	// emission group (groupRep holds each group's representative thread
+	// ID, groupOf maps every live thread to its group). The fixed-point
+	// iterations emit traffic and derive access cost once per group —
+	// with threads pinned across few nodes, that is nodes-many walks
+	// instead of threads-many.
+	groupRep []int32
+	groupOf  []int32
+
 	// Fold-skip state: the region-gen sum and live-thread count the
 	// current rows were folded from. When neither moved, refreshStreams
 	// skips the rebuild — the fold's inputs (placement distributions,

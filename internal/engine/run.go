@@ -128,11 +128,13 @@ type runner struct {
 
 	// Scratch buffers, reused so steady-state epochs allocate nothing.
 	//xnuma:scratch
-	movePairs [][2]numa.NodeID // sorted pendingMoveBytes keys
-	tickUtil  []float64        // controller-utilization copy for Carrefour ticks
-	cycles    []float64        // per-(src,dst) access cost, filled each iteration
-	linkUtil  []float64        // per-link utilization snapshot, one per iteration
-	ctrlPen   []float64        // per-destination controller penalty, one per iteration
+	movePairs  [][2]numa.NodeID // sorted pendingMoveBytes keys
+	tickUtil   []float64        // controller-utilization copy for Carrefour ticks
+	cycles     []float64        // per-(src,dst) access cost, filled each iteration
+	linkUtil   []float64        // per-link utilization snapshot, one per iteration
+	ctrlPen    []float64        // per-destination controller penalty, one per iteration
+	groupUnits []float64        // per-dedup-group work units, summed each fill
+	groupCyc   []float64        // per-dedup-group access cycles, one per iteration
 
 	// Carrefour-tick scratch: the tick rebuilds the sampler view from
 	// the stream table every interval, so the backing stores are reused.
@@ -183,6 +185,14 @@ func (r *runner) setup() error {
 		}
 		r.hoistRunConstants(in, epochSec)
 	}
+	maxThreads := 0
+	for _, in := range r.insts {
+		if in.NThreads > maxThreads {
+			maxThreads = in.NThreads
+		}
+	}
+	r.groupUnits = make([]float64, maxThreads)
+	r.groupCyc = make([]float64, maxThreads)
 	if !r.cfg.NoBatch {
 		total := 0
 		for _, in := range r.insts {
@@ -436,6 +446,10 @@ func (r *runner) fillLoads(record bool) {
 		}
 		ioFactor := r.ioFactor(in, record, il)
 		var totalMisses float64
+		gu := r.groupUnits[:len(in.groupRep)]
+		for g := range gu {
+			gu[g] = 0
+		}
 		for ti, t := range in.Threads {
 			if t.Done {
 				continue
@@ -451,14 +465,25 @@ func (r *runner) fillLoads(record bool) {
 				r.units[i][ti] = units
 			}
 			totalMisses += units
-			for n, share := range in.row(t.ID, nn) {
+			gu[in.groupOf[ti]] += units
+		}
+		// Emit one summed row per dedup group: threads in a group share
+		// node and row bit-for-bit, so (Σ units) · share is their exact
+		// combined traffic.
+		for g, rep := range in.groupRep {
+			units := gu[g]
+			if units <= 0 {
+				continue
+			}
+			src := in.Threads[rep].Node
+			for n, share := range in.row(int(rep), nn) {
 				if share <= 0 {
 					continue
 				}
 				cnt := units * share
-				r.load.AddAccesses(t.Node, numa.NodeID(n), cnt)
+				r.load.AddAccesses(src, numa.NodeID(n), cnt)
 				if record {
-					il.AddAccesses(t.Node, numa.NodeID(n), cnt)
+					il.AddAccesses(src, numa.NodeID(n), cnt)
 				}
 			}
 		}
@@ -556,19 +581,26 @@ func (r *runner) updateLatencies() {
 		if in.done {
 			continue
 		}
-		for _, t := range in.Threads {
-			if t.Done {
-				continue
-			}
-			costs := r.cycRow(t.Node)
+		// One row reduction per dedup group — the access cost depends
+		// only on the source node and the folded row, both group-shared.
+		// The damped update stays per-thread: latency history may differ
+		// between threads that only later converged onto the same row.
+		gc := r.groupCyc[:len(in.groupRep)]
+		for g, rep := range in.groupRep {
+			costs := r.cycRow(in.Threads[rep].Node)
 			var cyc float64
-			for n, share := range in.row(t.ID, nn) {
+			for n, share := range in.row(int(rep), nn) {
 				if share > 0 {
 					cyc += share * costs[n]
 				}
 			}
-			cyc += in.tlbCycles
-			t.latNs = 0.5*t.latNs + 0.5*(cyc/r.freqGHz)
+			gc[g] = cyc + in.tlbCycles
+		}
+		for _, t := range in.Threads {
+			if t.Done {
+				continue
+			}
+			t.latNs = 0.5*t.latNs + 0.5*(gc[in.groupOf[t.ID]]/r.freqGHz)
 		}
 	}
 }

@@ -177,6 +177,62 @@ func (in *Instance) foldRows() {
 			}
 		}
 	}
+	in.groupRows()
+}
+
+// groupRows collapses live threads with bitwise-identical folded rows
+// on the same node into emission groups. Identical rows contribute
+// identical per-access node shares, so the fixed-point iterations can
+// charge one summed row per group and derive one access cost per group
+// instead of per thread. The grouping compares this epoch's rows only
+// — thread state that differs within a group (CPU debt, damped
+// latency history) stays per-thread; only the row-shaped work is
+// shared.
+//
+//xnuma:noalloc
+func (in *Instance) groupRows() {
+	nn := in.hot.nNodes
+	if cap(in.groupOf) < in.NThreads {
+		in.groupOf = make([]int32, in.NThreads)
+		in.groupRep = make([]int32, 0, in.NThreads)
+	}
+	in.groupOf = in.groupOf[:in.NThreads]
+	reps := in.groupRep[:0] //xnuma:scratch capacity NThreads, pre-sized above; never grows after warmup
+	for _, th := range in.Threads {
+		if th.Done {
+			continue
+		}
+		row := in.rows[th.ID*nn : (th.ID+1)*nn]
+		g := int32(-1)
+		for gi, rep := range reps {
+			if in.Threads[rep].Node != th.Node {
+				continue
+			}
+			if rowsEqual(row, in.rows[int(rep)*nn:(int(rep)+1)*nn]) {
+				g = int32(gi)
+				break
+			}
+		}
+		if g < 0 {
+			g = int32(len(reps))
+			reps = append(reps, int32(th.ID))
+		}
+		in.groupOf[th.ID] = g
+	}
+	in.groupRep = reps
+}
+
+// rowsEqual reports whether two folded node rows are bitwise identical
+// (folded shares are never NaN, so == is bit comparison).
+//
+//xnuma:noalloc
+func rowsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // row returns thread id's folded node row for the current epoch.
