@@ -18,10 +18,34 @@ import (
 // scripts/bench_engine.sh runs this and records ns/op and allocs/op in
 // BENCH_engine.json.
 func BenchmarkEpoch(b *testing.B) {
+	benchEpoch(b, newStub(numa.AMD48Scaled(64), false))
+}
+
+// pinnedStub pins every thread to node 0: all 48 threads then fold to
+// bitwise-identical node rows and collapse into a single dedup group.
+type pinnedStub struct {
+	stubBackend
+}
+
+func (b *pinnedStub) ThreadNode(int) numa.NodeID { return 0 }
+
+// BenchmarkEpochUniqueRows is BenchmarkEpoch with every thread pinned
+// to one node, the best case for the row-dedup emission: the
+// fixed-point walks touch uniqueRows × nodes cells (one row here)
+// instead of threads × nodes. The gap to BenchmarkEpoch measures the
+// dedup win separately from the baseline kernel.
+//
+// scripts/bench_engine.sh records it alongside BenchmarkEpoch in
+// BENCH_engine.json; allocs/op must be zero for both.
+func BenchmarkEpochUniqueRows(b *testing.B) {
+	benchEpoch(b, &pinnedStub{*newStub(numa.AMD48Scaled(64), false)})
+}
+
+func benchEpoch(b *testing.B, backend Backend) {
 	topo := numa.AMD48Scaled(64)
 	prof := testProfile()
 	prof.BaselineSeconds = 1e9 // never finishes: every epoch is steady-state
-	in := &Instance{Prof: prof, Backend: newStub(topo, false), NThreads: 48}
+	in := &Instance{Prof: prof, Backend: backend, NThreads: 48}
 	cfg := testConfig(topo)
 	r := &runner{cfg: cfg, insts: []*Instance{in}, rand: sim.NewRand(cfg.Seed)}
 	if err := r.setup(); err != nil {

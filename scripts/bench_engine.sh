@@ -20,50 +20,63 @@ record | check) ;;
 	;;
 esac
 
-out=$(go test -run '^$' -bench BenchmarkEpoch -benchmem -count "${COUNT:-1}" ./internal/engine/)
+out=$(go test -run '^$' -bench '^BenchmarkEpoch(UniqueRows)?$' -benchmem -count "${COUNT:-1}" ./internal/engine/)
 printf '%s\n' "$out"
 
-# Keep the best (minimum-ns) repetition: the least-noisy estimate.
+# Keep the best (minimum-ns) repetition of each benchmark: the
+# least-noisy estimate. Names are matched exactly (modulo the -GOMAXPROCS
+# suffix): BenchmarkEpoch must not swallow BenchmarkEpochUniqueRows.
 line=$(printf '%s\n' "$out" | awk '
-/^BenchmarkEpoch/ {
-	if (best == "" || $3 + 0 < best + 0) {
-		best = $3
+$1 ~ /^BenchmarkEpoch(-[0-9]+)?$/ {
+	if (ns == "" || $3 + 0 < ns + 0) {
 		name = $1; iters = $2; ns = $3; bytes = $5; allocs = $7
 	}
 }
+$1 ~ /^BenchmarkEpochUniqueRows(-[0-9]+)?$/ {
+	if (uns == "" || $3 + 0 < uns + 0) {
+		uiters = $2; uns = $3; ubytes = $5; uallocs = $7
+	}
+}
 END {
-	if (name == "") {
-		print "bench_engine.sh: no BenchmarkEpoch line in output" > "/dev/stderr"
+	if (name == "" || uns == "") {
+		print "bench_engine.sh: missing BenchmarkEpoch or BenchmarkEpochUniqueRows in output" > "/dev/stderr"
 		exit 1
 	}
-	print name, iters, ns, bytes, allocs
+	print name, iters, ns, bytes, allocs, uiters, uns, ubytes, uallocs
 }')
 set -- $line
 name=$1 iters=$2 ns=$3 bytes=$4 allocs=$5
+uiters=$6 uns=$7 ubytes=$8 uallocs=$9
 
 if [ "$mode" = check ]; then
 	if [ ! -f BENCH_engine.json ]; then
 		echo "bench_engine.sh: no committed BENCH_engine.json to compare against" >&2
 		exit 1
 	fi
-	old=$(awk -F: '/"ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_engine.json)
+	# Anchored on the two-space indent so "ns_per_op" does not also match
+	# the uniquerows_ns_per_op line (and vice versa, matched by prefix).
+	old=$(awk -F: '/^  "ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_engine.json)
+	uold=$(awk -F: '/^  "uniquerows_ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_engine.json)
 	# allocs/op is machine-independent and gates hard at zero: the
 	# steady-state epoch loop must not allocate, full stop (the PR-2
 	# invariant, not just "no worse than the committed file"). ns/op
 	# carries hardware variance, so it only catches gross (>25%)
 	# slowdowns against the committed baseline.
-	awk -v new="$ns" -v old="$old" -v na="$allocs" 'BEGIN {
-		if (old + 0 <= 0) {
-			print "bench_engine.sh: bad ns_per_op in BENCH_engine.json" > "/dev/stderr"
+	awk -v new="$ns" -v old="$old" -v na="$allocs" \
+		-v unew="$uns" -v uold="$uold" -v una="$uallocs" 'BEGIN {
+		if (old + 0 <= 0 || uold + 0 <= 0) {
+			print "bench_engine.sh: bad ns_per_op/uniquerows_ns_per_op in BENCH_engine.json" > "/dev/stderr"
 			exit 1
 		}
 		ratio = new / old
+		uratio = unew / uold
 		printf "bench_engine.sh: %s ns/op vs committed %s (%.2fx), %s allocs/op (must be 0)\n", new, old, ratio, na
-		if (na + 0 != 0) {
+		printf "bench_engine.sh: uniquerows %s ns/op vs committed %s (%.2fx), %s allocs/op (must be 0)\n", unew, uold, uratio, una
+		if (na + 0 != 0 || una + 0 != 0) {
 			print "bench_engine.sh: REGRESSION — steady-state epochs must be allocation-free (allocs/op == 0)" > "/dev/stderr"
 			exit 1
 		}
-		if (ratio > 1.25) {
+		if (ratio > 1.25 || uratio > 1.25) {
 			print "bench_engine.sh: REGRESSION — epoch loop more than 25% slower than BENCH_engine.json" > "/dev/stderr"
 			exit 1
 		}
@@ -77,7 +90,11 @@ cat >BENCH_engine.json <<EOF
   "iterations": $iters,
   "ns_per_op": $ns,
   "bytes_per_op": $bytes,
-  "allocs_per_op": $allocs
+  "allocs_per_op": $allocs,
+  "uniquerows_iterations": $uiters,
+  "uniquerows_ns_per_op": $uns,
+  "uniquerows_bytes_per_op": $ubytes,
+  "uniquerows_allocs_per_op": $uallocs
 }
 EOF
 

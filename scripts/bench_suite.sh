@@ -23,15 +23,17 @@ record | check) ;;
 	;;
 esac
 
-out=$(go test -run '^$' -bench BenchmarkSuiteSweep -count "${COUNT:-1}" ./internal/exp/)
+out=$(go test -run '^$' -bench BenchmarkSuiteSweep -benchmem -count "${COUNT:-1}" ./internal/exp/)
 printf '%s\n' "$out"
 
 # Keep the best (minimum-ns) repetition: the least-noisy estimate.
+# With -benchmem the fields are: name iters ns "ns/op" cells
+# "cells/sec" bytes "B/op" allocs "allocs/op".
 line=$(printf '%s\n' "$out" | awk '
 /^BenchmarkSuiteSweep/ {
 	if (best == "" || $3 + 0 < best + 0) {
 		best = $3
-		name = $1; iters = $2; ns = $3; cells = $5
+		name = $1; iters = $2; ns = $3; cells = $5; bytes = $7; allocs = $9
 	}
 }
 END {
@@ -39,10 +41,10 @@ END {
 		print "bench_suite.sh: no BenchmarkSuiteSweep line in output" > "/dev/stderr"
 		exit 1
 	}
-	print name, iters, ns, cells
+	print name, iters, ns, cells, bytes, allocs
 }')
 set -- $line
-name=$1 iters=$2 ns=$3 cells=$4
+name=$1 iters=$2 ns=$3 cells=$4 bytes=$5 allocs=$6
 
 if [ "$mode" = check ]; then
 	if [ ! -f BENCH_suite.json ]; then
@@ -67,12 +69,17 @@ if [ "$mode" = check ]; then
 	exit 0
 fi
 
+# bytes/allocs are trajectory only (no gate): a sweep batch builds whole
+# machines and suites, so it allocates by design — the history just makes
+# arena/caching wins visible.
 cat >BENCH_suite.json <<EOF
 {
   "benchmark": "$name",
   "iterations": $iters,
   "ns_per_op": $ns,
-  "cells_per_sec": $cells
+  "cells_per_sec": $cells,
+  "bytes_per_op": $bytes,
+  "allocs_per_op": $allocs
 }
 EOF
 
