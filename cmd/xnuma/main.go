@@ -22,7 +22,8 @@
 //	-scale N        machine/footprint scale divisor (default 64)
 //	-seed N         simulation seed (default 1)
 //	-parallel N     worker count for the experiment scheduler (default: all CPUs)
-//	-progress       report per-experiment timing on stderr
+//	-progress       report per-experiment timing on stderr; sweeps also
+//	                report live cells/sec while running
 //	-md             render tables as Markdown
 //	-cpuprofile f   write a CPU profile covering the whole invocation to f
 //	-memprofile f   write an end-of-run heap profile to f
@@ -172,7 +173,7 @@ usage:
 			return 2
 		}
 	case "sweep":
-		if c := runSweep(s, stdout, stderr, render, args[1:]); c != 0 {
+		if c := runSweep(s, stdout, stderr, render, *progress, args[1:]); c != 0 {
 			return c
 		}
 	case "advise":
@@ -259,8 +260,11 @@ func knownApp(app string) error {
 // per-node bind sweep with -bind, the seed-stability sweep with
 // -seeds N. -apps batches several applications (or "all") in a single
 // prefetch wave on the suite's shared pool and composes with -seeds.
-// It reports its errors itself and returns the exit code.
-func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) string, args []string) int {
+// With the global -progress flag it reports live throughput (the
+// scheduler's CellsComputed counter sampled every two seconds) and a
+// final cells/sec summary on stderr. It reports its errors itself and
+// returns the exit code.
+func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) string, progress bool, args []string) int {
 	const usage = "usage: xnuma sweep [-bind] [-seeds N] (<app> | -apps a,b,…|all)"
 	fs := flag.NewFlagSet("xnuma sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -318,13 +322,63 @@ func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) st
 	case *bind && *appsFlag != "":
 		return fail(fmt.Errorf("sweep: -bind and -apps are mutually exclusive"))
 	case *bind:
-		fmt.Fprintln(stdout, render(exp.BindSweep(s, apps[0])))
+		sweepProgress(s, stderr, progress, func() {
+			fmt.Fprintln(stdout, render(exp.BindSweep(s, apps[0])))
+		})
 	case *seeds > 1:
-		printAll(exp.SeedSweepApps(s, apps, *seeds))
+		sweepProgress(s, stderr, progress, func() {
+			printAll(exp.SeedSweepApps(s, apps, *seeds))
+		})
 	default:
-		printAll(exp.PolicySweepApps(s, apps))
+		sweepProgress(s, stderr, progress, func() {
+			printAll(exp.PolicySweepApps(s, apps))
+		})
 	}
 	return 0
+}
+
+// sweepProgress runs a sweep under the live-throughput reporter: while
+// fn computes (and renders) the sweep, a ticker samples the suite's
+// CellsComputed counter every two seconds and writes running cells/sec
+// to stderr, followed by one final summary line. Without -progress it
+// just runs fn.
+func sweepProgress(s *exp.Suite, stderr io.Writer, progress bool, fn func()) {
+	if !progress {
+		fn()
+		return
+	}
+	start := time.Now()
+	base := s.CellsComputed()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				cells := s.CellsComputed() - base
+				if el := time.Since(start).Seconds(); el > 0 {
+					fmt.Fprintf(stderr, "xnuma: sweep: %d cells, %.1f cells/sec\n",
+						cells, float64(cells)/el)
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	cells := s.CellsComputed() - base
+	el := time.Since(start)
+	rate := 0.0
+	if sec := el.Seconds(); sec > 0 {
+		rate = float64(cells) / sec
+	}
+	fmt.Fprintf(stderr, "xnuma: sweep: %d new runs in %v (%.1f cells/sec, %d workers)\n",
+		cells, el.Round(time.Millisecond), rate, s.Workers())
 }
 
 func runOne(s *exp.Suite, stdout io.Writer, app, pol string) error {

@@ -152,6 +152,22 @@ func TestSweepTiny(t *testing.T) {
 	}
 }
 
+func TestSweepProgress(t *testing.T) {
+	code, out, errb := runCLI(t, "-scale", "256", "-progress", "sweep", "swaptions")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "== sweep:") {
+		t.Errorf("sweep output missing table:\n%s", out)
+	}
+	// The live reporter's final summary: run counts and throughput on
+	// stderr (interim ticks only appear when the sweep outlives the
+	// 2-second sampling interval).
+	if !strings.Contains(errb, "new runs") || !strings.Contains(errb, "cells/sec") {
+		t.Errorf("progress summary missing from stderr: %q", errb)
+	}
+}
+
 func TestSweepBindTiny(t *testing.T) {
 	code, out, errb := runCLI(t, "-scale", "256", "sweep", "-bind", "swaptions")
 	if code != 0 {
