@@ -9,11 +9,14 @@ import (
 // Aliasretain polices the documented internal-slice accessors in
 // internal/engine: Region.Dist/AccessDist/HotDist hand out the region's
 // cached distribution buffers, stream.distFor and Instance.row hand out
-// rows of the flattened row table. Callers may read them within the
-// current epoch, but storing one into a struct field, a composite
-// literal field or a package-level variable retains a view that the
-// next cache refresh or foldRows repack silently invalidates — the
-// aliasing bug class the row-table flattening in PR 5 made possible.
+// rows of the flattened row table (itself aliasing the runner's packed
+// row arena), and runner.cycRow hands out rows of the per-iteration
+// cost-matrix scratch. Callers may read them within the current epoch
+// (cycRow: within the current iteration), but storing one into a
+// struct field, a composite literal field or a package-level variable
+// retains a view that the next cache refresh, foldRows repack or
+// fillCycles pass silently invalidates — the aliasing bug class the
+// row-table flattening in PR 5 made possible.
 //
 // The analyzer runs over the whole repo: any package may call into
 // engine.
@@ -29,6 +32,7 @@ var aliasAccessors = map[string]map[string]bool{
 	"Region":   {"Dist": true, "AccessDist": true, "HotDist": true},
 	"stream":   {"distFor": true},
 	"Instance": {"row": true},
+	"runner":   {"cycRow": true},
 }
 
 // aliasAccessorPkg restricts the receiver types to the engine package

@@ -13,6 +13,10 @@ type Instance struct{ rows []float64 }
 
 func (in *Instance) row(i int) []float64 { return in.rows[i : i+1] }
 
+type runner struct{ cycles []float64 }
+
+func (r *runner) cycRow(src int) []float64 { return r.cycles[src : src+1] }
+
 type holder struct {
 	cached []float64
 	all    [][]float64
@@ -36,6 +40,10 @@ func retainInLiteral(r *Region) holder {
 
 func retainInElement(h *holder, in *Instance, i int) {
 	h.all[i] = in.row(i) // want `result of Instance\.row stored in element of field h\.all`
+}
+
+func retainCostRow(h *holder, r *runner) {
+	h.cached = r.cycRow(0) // want `result of runner\.cycRow stored in field h\.cached`
 }
 
 // Reading within the frame is the intended use: the view dies with the
