@@ -340,8 +340,9 @@ func runSweep(s *exp.Suite, stdout, stderr io.Writer, render func(*exp.Table) st
 // sweepProgress runs a sweep under the live-throughput reporter: while
 // fn computes (and renders) the sweep, a ticker samples the suite's
 // CellsComputed counter every two seconds and writes running cells/sec
-// to stderr, followed by one final summary line. Without -progress it
-// just runs fn.
+// to stderr, followed by one final summary line that also reports the
+// warm-machine pool's hit/miss split. Without -progress it just runs
+// fn.
 func sweepProgress(s *exp.Suite, stderr io.Writer, progress bool, fn func()) {
 	if !progress {
 		fn()
@@ -377,8 +378,9 @@ func sweepProgress(s *exp.Suite, stderr io.Writer, progress bool, fn func()) {
 	if sec := el.Seconds(); sec > 0 {
 		rate = float64(cells) / sec
 	}
-	fmt.Fprintf(stderr, "xnuma: sweep: %d new runs in %v (%.1f cells/sec, %d workers)\n",
-		cells, el.Round(time.Millisecond), rate, s.Workers())
+	hits, misses := s.PoolStats()
+	fmt.Fprintf(stderr, "xnuma: sweep: %d new runs in %v (%.1f cells/sec, %d workers, pool %d hits / %d misses)\n",
+		cells, el.Round(time.Millisecond), rate, s.Workers(), hits, misses)
 }
 
 func runOne(s *exp.Suite, stdout io.Writer, app, pol string) error {

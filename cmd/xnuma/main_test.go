@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -160,11 +161,19 @@ func TestSweepProgress(t *testing.T) {
 	if !strings.Contains(out, "== sweep:") {
 		t.Errorf("sweep output missing table:\n%s", out)
 	}
-	// The live reporter's final summary: run counts and throughput on
-	// stderr (interim ticks only appear when the sweep outlives the
-	// 2-second sampling interval).
+	// The live reporter's final summary: run counts, throughput and the
+	// warm-machine pool's hit/miss split on stderr (interim ticks only
+	// appear when the sweep outlives the 2-second sampling interval).
 	if !strings.Contains(errb, "new runs") || !strings.Contains(errb, "cells/sec") {
 		t.Errorf("progress summary missing from stderr: %q", errb)
+	}
+	if !strings.Contains(errb, "hits") || !strings.Contains(errb, "misses") {
+		t.Errorf("pool stats missing from progress summary: %q", errb)
+	}
+	// A single-app policy sweep repeats one machine shape, so the pool
+	// must have served at least one warm lease.
+	if !regexp.MustCompile(`pool [1-9]\d* hits`).MatchString(errb) {
+		t.Errorf("pool reported no hits on a repeated-shape sweep: %q", errb)
 	}
 }
 

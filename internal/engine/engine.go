@@ -123,10 +123,33 @@ func (r *Region) invalidate() {
 // pages. Zero (the default) means the whole region is accessed.
 func (r *Region) SetAccessHead(limit int) {
 	r.headLimit = limit
-	r.histHead = make([]float64, r.nNodes)
+	if len(r.histHead) != r.nNodes {
+		r.histHead = make([]float64, r.nNodes)
+	} else {
+		for i := range r.histHead {
+			r.histHead[i] = 0
+		}
+	}
 	for i := 0; i < len(r.Pages) && i < limit; i++ {
 		r.histHead[r.nodes[i]]++
 	}
+	r.invalidate()
+}
+
+// reset empties the region for a new run, keeping its identity (Name,
+// Kind, Owner) and every backing buffer, so a recycled instance's
+// regions refill without allocating.
+func (r *Region) reset() {
+	r.Pages = r.Pages[:0]
+	r.nodes = r.nodes[:0]
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
+	r.headLimit = 0
+	for i := range r.histHead {
+		r.histHead[i] = 0
+	}
+	r.Replicated = false
 	r.invalidate()
 }
 
@@ -384,7 +407,20 @@ type Instance struct {
 	// pending migration traffic (bytes between node pairs) charged to
 	// the next epoch's load.
 	pendingMoveBytes map[[2]numa.NodeID]float64
+
+	// recycled marks an instance handed back by a warm-pool lease:
+	// Run's setup rebuilds its threads and regions in place, keeping
+	// their storage, instead of requiring a fresh struct.
+	recycled bool
 }
+
+// Recycle marks the instance for in-place rebuild by the next Run. The
+// caller sets the public fields (Prof, Backend, NThreads, Carrefour,
+// ...) exactly as on a fresh instance; setup then resets the private
+// run state — threads, regions, burst and fold state, pending traffic —
+// while reusing the existing allocations. A recycled instance behaves
+// bit-for-bit like a freshly constructed one.
+func (in *Instance) Recycle() { in.recycled = true }
 
 // regionSizes records the page budget of each region class.
 type regionSizes struct {

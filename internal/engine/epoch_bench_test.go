@@ -47,6 +47,9 @@ func benchEpoch(b *testing.B, backend Backend) {
 	prof.BaselineSeconds = 1e9 // never finishes: every epoch is steady-state
 	in := &Instance{Prof: prof, Backend: backend, NThreads: 48}
 	cfg := testConfig(topo)
+	// The bench measures the full kernel: with the converged fast path
+	// on, steady-state epochs would skip the very passes being timed.
+	cfg.NoConverge = true
 	r := &runner{cfg: cfg, insts: []*Instance{in}, rand: sim.NewRand(cfg.Seed)}
 	if err := r.setup(); err != nil {
 		b.Fatal(err)

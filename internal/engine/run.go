@@ -42,6 +42,13 @@ type Config struct {
 	// identical to the batched kernel — it exists so the equivalence
 	// tests can pin that, not for production sweeps.
 	NoBatch bool
+	// NoConverge disables the converged-epoch fast path, forcing the
+	// full fixed-point computation every epoch. Results are bit-for-bit
+	// identical either way (the fast path only skips epochs whose full
+	// recomputation would reproduce the previous epoch's state exactly);
+	// the flag exists for the equivalence tests and for benchmarks that
+	// must measure the full kernel.
+	NoConverge bool
 }
 
 // DefaultConfig returns the standard configuration for a machine scaled
@@ -118,6 +125,15 @@ type runner struct {
 	hops    []int
 	cost    *numa.AccessCostModel
 	freqGHz float64
+
+	// Converged-epoch fast-path state: converged is set after a full
+	// epoch proved itself a fixed point (see epoch); latChanged is the
+	// epoch-scoped flag updateLatencies raises on any bitwise latency
+	// movement; convergedEpochs counts skipped epochs for the white-box
+	// tests.
+	converged       bool
+	latChanged      bool
+	convergedEpochs uint64
 
 	// rowArena packs every instance's folded per-thread node rows into
 	// one contiguous block (in.rows slices alias it), so the fixed-point
@@ -240,20 +256,60 @@ func (r *runner) hoistRunConstants(in *Instance, epochSec float64) {
 	}
 }
 
-// buildInstance creates threads and sizes regions.
+// buildInstance creates threads and sizes regions. A recycled instance
+// whose shape (thread count, node count) matches its previous run is
+// rebuilt in place: threads and regions are reset to their
+// just-constructed values while keeping their storage, so a pooled
+// cell's instances allocate nothing here.
 func (r *runner) buildInstance(in *Instance) error {
 	nNodes := r.cfg.Topo.NumNodes()
 	idealNs := in.Prof.CPUNsPerUnit() + 71.0
 	in.workPerThread = in.Prof.BaselineSeconds * 1e9 / idealNs
-	for i := 0; i < in.NThreads; i++ {
-		in.Threads = append(in.Threads, &Thread{
-			ID:       i,
-			Node:     in.Backend.ThreadNode(i),
-			CPUShare: in.Backend.CPUShare(i),
-			WorkLeft: in.workPerThread,
-			latNs:    100,
-		})
+	reuse := in.recycled && len(in.Threads) == in.NThreads &&
+		len(in.dist) == in.NThreads && len(in.priv) == in.NThreads &&
+		in.hot != nil && in.hot.nNodes == nNodes
+	in.recycled = false
+	if reuse {
+		for i, t := range in.Threads {
+			*t = Thread{
+				ID:       i,
+				Node:     in.Backend.ThreadNode(i),
+				CPUShare: in.Backend.CPUShare(i),
+				WorkLeft: in.workPerThread,
+				latNs:    100,
+			}
+		}
+		in.hot.reset()
+		in.master.reset()
+		for i := 0; i < in.NThreads; i++ {
+			in.dist[i].reset()
+			in.priv[i].reset()
+		}
+	} else {
+		in.Threads = in.Threads[:0]
+		in.dist = in.dist[:0]
+		in.priv = in.priv[:0]
+		for i := 0; i < in.NThreads; i++ {
+			in.Threads = append(in.Threads, &Thread{
+				ID:       i,
+				Node:     in.Backend.ThreadNode(i),
+				CPUShare: in.Backend.CPUShare(i),
+				WorkLeft: in.workPerThread,
+				latNs:    100,
+			})
+		}
 	}
+	// Dynamic run state resets on BOTH paths: a recycled instance whose
+	// shape check failed (e.g. a pooled machine re-leased with a
+	// different thread count) rebuilds its storage above but would
+	// otherwise keep done/Completion/burst state from its previous run.
+	// For never-run instances this is a no-op.
+	clear(in.pendingMoveBytes)
+	in.burstLeft, in.burstNode, in.burstRegion = 0, 0, nil
+	in.done, in.Completion = false, 0
+	in.foldSum, in.foldLive, in.foldValid = 0, 0, false
+	in.tlbCycles = 0
+	in.ioProgress, in.ioPerTarget, in.ioTargets = 0, 0, nil
 	pages := int(in.Prof.FootprintMB * (1 << 20) / float64(r.cfg.Scale) / 4096)
 	if pages < 512 {
 		pages = 512
@@ -277,11 +333,13 @@ func (r *runner) buildInstance(in *Instance) error {
 	privPages := int(float64(rest) * wP / denom)
 	distPages := rest - masterPages - privPages
 
-	in.hot = NewRegion("hot", RegionHot, 0, nNodes)
-	in.master = NewRegion("master", RegionMaster, 0, nNodes)
-	for i := 0; i < in.NThreads; i++ {
-		in.dist = append(in.dist, NewRegion(fmt.Sprintf("dist%d", i), RegionDist, i, nNodes))
-		in.priv = append(in.priv, NewRegion(fmt.Sprintf("priv%d", i), RegionPrivate, i, nNodes))
+	if !reuse {
+		in.hot = NewRegion("hot", RegionHot, 0, nNodes)
+		in.master = NewRegion("master", RegionMaster, 0, nNodes)
+		for i := 0; i < in.NThreads; i++ {
+			in.dist = append(in.dist, NewRegion(fmt.Sprintf("dist%d", i), RegionDist, i, nNodes))
+			in.priv = append(in.priv, NewRegion(fmt.Sprintf("priv%d", i), RegionPrivate, i, nNodes))
+		}
 	}
 	in.sizes = regionSizes{hot: hotPages, master: masterPages, priv: privPages, dist: distPages}
 	if ws := in.Prof.WorkingSet; ws > 0 && ws < 1 {
@@ -308,7 +366,9 @@ func (r *runner) buildInstance(in *Instance) error {
 		HomeNodes:  in.Backend.HomeNodes(),
 		Penalty:    in.Prof.IOPenalty,
 	}
-	in.pendingMoveBytes = make(map[[2]numa.NodeID]float64)
+	if in.pendingMoveBytes == nil {
+		in.pendingMoveBytes = make(map[[2]numa.NodeID]float64)
+	}
 	return nil
 }
 
@@ -388,8 +448,51 @@ func (r *runner) loop() {
 // instance's stream table, couple rates and latencies, apply progress,
 // fold the epoch into the statistics, and run due Carrefour ticks.
 //
+// Once a full epoch proves itself a fixed point — no debt, bursts or
+// pending migration traffic on entry, no bitwise latency movement
+// across the iterations, no completion, no Carrefour tick — every
+// input to the next epoch's fill/latency passes is bitwise unchanged,
+// so their outputs (r.units, the per-instance loads, the latencies)
+// would be reproduced exactly. Subsequent epochs skip straight to
+// progress and statistics on the stale-but-identical state, until a
+// completion or a tick perturbs the fixed point. Config.NoConverge
+// (and the NoBatch reference kernel) force the full computation.
+//
 //xnuma:noalloc
 func (r *runner) epoch(step int) {
+	if r.converged && !r.cfg.NoBatch && !r.cfg.NoConverge {
+		r.convergedEpochs++
+		completed := r.progress()
+		for i := range r.insts {
+			r.stats[i].Observe(r.instLoads[i])
+		}
+		if r.runTicks(step) || completed {
+			r.converged = false
+		}
+		return
+	}
+	// candidate: at entry, every live instance is in steady state — no
+	// stall debt to pay down, no decaying burst, no one-off migration
+	// traffic. Evaluated before the passes below consume any of it.
+	candidate := true
+	for _, in := range r.insts {
+		if in.done {
+			continue
+		}
+		if in.burstLeft > 0 || len(in.pendingMoveBytes) > 0 {
+			candidate = false
+			break
+		}
+		for _, t := range in.Threads {
+			if !t.Done && t.DebtNs != 0 {
+				candidate = false
+				break
+			}
+		}
+		if !candidate {
+			break
+		}
+	}
 	for _, in := range r.insts {
 		if !in.done {
 			in.refreshStreams(r.cfg.NoBatch)
@@ -398,22 +501,37 @@ func (r *runner) epoch(step int) {
 	// Damped fixed-point iterations couple access rates and latency
 	// (undamped, saturated configurations oscillate between idle and
 	// saturated estimates).
+	r.latChanged = false
 	const iters = 4
 	for iter := 0; iter < iters; iter++ {
 		r.fillLoads(iter == iters-1)
 		r.updateLatencies()
 	}
-	r.progress()
+	completed := r.progress()
 	for i := range r.insts {
 		r.stats[i].Observe(r.instLoads[i])
 	}
-	if r.cfg.CarrefourEvery > 0 && step%r.cfg.CarrefourEvery == 0 {
-		for i, in := range r.insts {
-			if in.Carrefour && !in.done {
-				r.carrefourTick(i, in)
-			}
+	ticked := r.runTicks(step)
+	r.converged = candidate && !r.latChanged && !completed && !ticked
+}
+
+// runTicks runs due Carrefour ticks and reports whether any ran. Ticks
+// are never skipped by the converged fast path: their random draws must
+// consume the run's deterministic stream at the same points either way.
+//
+//xnuma:noalloc
+func (r *runner) runTicks(step int) bool {
+	if r.cfg.CarrefourEvery <= 0 || step%r.cfg.CarrefourEvery != 0 {
+		return false
+	}
+	ran := false
+	for i, in := range r.insts {
+		if in.Carrefour && !in.done {
+			r.carrefourTick(i, in)
+			ran = true
 		}
 	}
+	return ran
 }
 
 func (r *runner) allDone() bool {
@@ -600,7 +718,11 @@ func (r *runner) updateLatencies() {
 			if t.Done {
 				continue
 			}
-			t.latNs = 0.5*t.latNs + 0.5*(gc[in.groupOf[t.ID]]/r.freqGHz)
+			old := t.latNs
+			t.latNs = 0.5*old + 0.5*(gc[in.groupOf[t.ID]]/r.freqGHz)
+			if t.latNs != old {
+				r.latChanged = true
+			}
 		}
 	}
 }
@@ -682,10 +804,13 @@ func costModelFor(t *numa.Topology) *numa.AccessCostModel {
 }
 
 // progress applies the recorded units, consumes debt, and detects
-// completion.
+// completion. It reports whether any thread finished this epoch (a
+// completion changes the next epoch's load picture, so it breaks the
+// converged fast path).
 //
 //xnuma:noalloc
-func (r *runner) progress() {
+func (r *runner) progress() bool {
+	completed := false
 	epochNs := float64(r.cfg.Epoch)
 	for i, in := range r.insts {
 		if in.done {
@@ -712,6 +837,7 @@ func (r *runner) progress() {
 				t.WorkLeft = 0
 				t.Done = true
 				t.DoneAt = r.now + sim.Time(frac*float64(r.cfg.Epoch))
+				completed = true
 				continue
 			}
 			t.WorkLeft -= units
@@ -727,6 +853,7 @@ func (r *runner) progress() {
 			in.Completion = last
 		}
 	}
+	return completed
 }
 
 // carrefourTick runs one decision interval of the dynamic policy for

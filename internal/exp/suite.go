@@ -42,10 +42,13 @@ type Suite struct {
 func NewSuite(scale int) *Suite { return NewSuiteParallel(scale, 0) }
 
 // NewSuiteParallel returns a suite whose prefetched cells run on at most
-// workers goroutines (<= 0 selects runtime.GOMAXPROCS(0)).
+// workers goroutines (<= 0 selects runtime.GOMAXPROCS(0)). Each suite
+// carries its own warm-machine pool: cells lease and reset pre-built
+// machines instead of cold-building one per run (set Opt.NoPool to
+// force the fresh-build reference path).
 func NewSuiteParallel(scale, workers int) *Suite {
 	return &Suite{
-		Opt:   xennuma.Options{Scale: scale},
+		Opt:   xennuma.Options{Scale: scale, Pool: xennuma.NewPool()},
 		sched: NewScheduler(workers),
 		cache: newResultCache(),
 	}
@@ -53,6 +56,16 @@ func NewSuiteParallel(scale, workers int) *Suite {
 
 // Workers returns the scheduler's concurrency bound.
 func (s *Suite) Workers() int { return s.sched.Workers() }
+
+// PoolStats reports the suite pool's warm-machine leases: hits found a
+// pre-built machine to reset, misses cold-built one. Zero when the
+// suite has no pool attached.
+func (s *Suite) PoolStats() (hits, misses uint64) {
+	if s.Opt.Pool == nil {
+		return 0, 0
+	}
+	return s.Opt.Pool.Stats()
+}
 
 // CellsComputed returns how many distinct simulation cells have been
 // executed (cache hits excluded).

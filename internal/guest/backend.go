@@ -43,6 +43,16 @@ type Backend struct {
 // the whole round-1G regions — which is why small-footprint applications
 // end up concentrated on one node under Xen's default policy.
 func NewBackend(hv *xen.Hypervisor, dom *xen.Domain, qcfg QueueConfig, cfg policy.Config) (*Backend, sim.Time, error) {
+	return RebuildBackend(nil, hv, dom, qcfg, cfg)
+}
+
+// RebuildBackend is NewBackend with recycling: when prev is a backend of
+// the same queue shape (from an earlier lease of the pooled machine), its
+// guest OS, allocator, queue, process and maps are reset in place and
+// rebound to dom instead of rebuilt, producing a backend bit-identical in
+// behavior to a cold-built one. A nil or shape-mismatched prev falls back
+// to a cold build.
+func RebuildBackend(prev *Backend, hv *xen.Hypervisor, dom *xen.Domain, qcfg QueueConfig, cfg policy.Config) (*Backend, sim.Time, error) {
 	desc, _, canon, err := policy.Resolve(cfg.Static)
 	if err != nil {
 		return nil, 0, err
@@ -52,15 +62,27 @@ func NewBackend(hv *xen.Hypervisor, dom *xen.Domain, qcfg QueueConfig, cfg polic
 	if kernelPages >= dom.PhysPages() {
 		kernelPages = dom.PhysPages() / 4
 	}
-	b := &Backend{
-		HV:         hv,
-		Dom:        dom,
-		OS:         NewOS(dom, kernelPages, qcfg),
-		regionVPN:  make(map[*engine.Region][]pt.VPN),
-		cfg:        cfg,
-		contiguous: desc.Contiguous,
+	var b *Backend
+	if prev != nil && prev.OS.Queue.cfg == qcfg {
+		b = prev
+		b.HV = hv
+		b.Dom = dom
+		b.OS.reset(dom, kernelPages)
+		b.proc.reset(b.OS)
+		clear(b.regionVPN)
+		b.cfg = cfg
+		b.contiguous = desc.Contiguous
+	} else {
+		b = &Backend{
+			HV:         hv,
+			Dom:        dom,
+			OS:         NewOS(dom, kernelPages, qcfg),
+			regionVPN:  make(map[*engine.Region][]pt.VPN),
+			cfg:        cfg,
+			contiguous: desc.Contiguous,
+		}
+		b.proc = b.OS.NewProcess(1)
 	}
-	b.proc = b.OS.NewProcess(1)
 	cost, err := b.OS.SetPolicy(cfg)
 	if err != nil {
 		return nil, 0, err

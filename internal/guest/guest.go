@@ -80,6 +80,20 @@ func (a *PhysAlloc) Free(p mem.PFN) {
 // InUse reports the number of allocated pages.
 func (a *PhysAlloc) InUse() int { return len(a.inUse) }
 
+// Reset returns the allocator to its just-constructed state for a new
+// physical space of totalPages with the given kernel reservation,
+// keeping the freed-list capacity and in-use map buckets.
+func (a *PhysAlloc) Reset(totalPages, reserved uint64) {
+	if reserved >= totalPages {
+		panic("guest: reserved pages exceed physical space")
+	}
+	a.totalPages = totalPages
+	a.nextFresh = reserved
+	a.reserved = reserved
+	a.freed = a.freed[:0]
+	clear(a.inUse)
+}
+
 // FreePages returns every currently-free page: the freed list plus all
 // never-touched pages. Used to prime the hypervisor when switching to
 // first-touch.
@@ -90,6 +104,19 @@ func (a *PhysAlloc) FreePages() []mem.PFN {
 		out = append(out, mem.PFN(p))
 	}
 	return out
+}
+
+// ForEachFree visits every currently-free page in the same deterministic
+// order FreePages returns them, without materializing the slice — the
+// free-list flush on a policy switch covers the whole physical space, a
+// multi-megabyte allocation when done by value.
+func (a *PhysAlloc) ForEachFree(fn func(mem.PFN)) {
+	for _, p := range a.freed {
+		fn(p)
+	}
+	for p := a.nextFresh; p < a.totalPages; p++ {
+		fn(mem.PFN(p))
+	}
 }
 
 // QueueConfig shapes the page-queue driver, exposing the design choices
@@ -185,6 +212,17 @@ func (q *PageQueue) flush(qi int) sim.Time {
 	return cost
 }
 
+// Reset rebinds the driver to dom with empty queues and zeroed
+// counters, keeping each queue's backing array. The configuration is
+// unchanged; callers needing a different shape build a new queue.
+func (q *PageQueue) Reset(dom *xen.Domain) {
+	q.dom = dom
+	for i := range q.queues {
+		q.queues[i] = q.queues[i][:0]
+	}
+	q.Ops, q.Flushes, q.Time = 0, 0, 0
+}
+
 // Pending reports the total queued, unflushed operations.
 func (q *PageQueue) Pending() int {
 	n := 0
@@ -215,6 +253,16 @@ func NewOS(dom *xen.Domain, kernelPages uint64, qcfg QueueConfig) *OS {
 	}
 }
 
+// reset reboots the guest on a (possibly different) domain of the same
+// queue shape, restoring the allocator and queue to pristine state while
+// keeping their storage.
+func (g *OS) reset(dom *xen.Domain, kernelPages uint64) {
+	g.Dom = dom
+	g.Phys.Reset(dom.PhysPages(), kernelPages)
+	g.Queue.Reset(dom)
+	g.queueActive = false
+}
+
 // SetPolicy performs the policy-selection hypercall. Switching to a
 // page-queue-consuming policy (first-touch) additionally primes the
 // hypervisor by flushing the whole guest free list through the page
@@ -228,9 +276,9 @@ func (g *OS) SetPolicy(cfg policy.Config) (sim.Time, error) {
 	wasActive := g.queueActive
 	g.queueActive = policy.UsesPageQueue(cfg.Static)
 	if g.queueActive && !wasActive {
-		for _, p := range g.Phys.FreePages() {
+		g.Phys.ForEachFree(func(p mem.PFN) {
 			cost += g.Queue.Add(policy.OpRelease, p)
-		}
+		})
 		cost += g.Queue.FlushAll()
 	}
 	return cost, nil

@@ -37,6 +37,15 @@ func (g *OS) NewProcess(pid int) *Process {
 	}
 }
 
+// reset rebinds the process to a rebooted guest with an empty address
+// space, keeping the page-table buckets and mapping-map storage.
+func (p *Process) reset(g *OS) {
+	p.os = g
+	p.table.Reset()
+	p.nextVPN = 0
+	clear(p.mappings)
+}
+
 // Mmap reserves pages virtual pages and returns the start VPN. No
 // physical memory is allocated yet (lazy allocation).
 func (p *Process) Mmap(pages int) (pt.VPN, sim.Time, error) {

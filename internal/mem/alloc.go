@@ -74,29 +74,53 @@ func NewAllocator(topo *numa.Topology) *Allocator {
 	a.framesPerNode = per
 	for i := range topo.Nodes {
 		na := nodeAlloc{
-			base:      MFN(uint64(i) * per),
-			frames:    per,
-			freeSet:   make(map[MFN]int),
-			freeBytes: int64(per) * PageSize,
+			base:    MFN(uint64(i) * per),
+			frames:  per,
+			freeSet: make(map[MFN]int),
 		}
-		// Seed the free lists with the largest aligned blocks that fit.
-		start, remaining := na.base, per
-		for remaining > 0 {
-			order := maxOrder
-			for FramesOf(order) > remaining || uint64(start)%FramesOf(order) != 0 {
-				order--
-				if order < 0 {
-					panic("mem: unalignable bank")
-				}
-			}
-			na.freeList[order] = append(na.freeList[order], start)
-			na.freeSet[start] = order
-			start += MFN(FramesOf(order))
-			remaining -= FramesOf(order)
-		}
+		na.seed()
 		a.nodes = append(a.nodes, na)
 	}
 	return a
+}
+
+// seed fills the node's free lists with the largest aligned blocks that
+// fit, lowest address first — the pristine shape every allocation
+// sequence starts from. It assumes the lists and set are empty.
+func (na *nodeAlloc) seed() {
+	na.freeBytes = int64(na.frames) * PageSize
+	start, remaining := na.base, na.frames
+	for remaining > 0 {
+		order := maxOrder
+		for FramesOf(order) > remaining || uint64(start)%FramesOf(order) != 0 {
+			order--
+			if order < 0 {
+				panic("mem: unalignable bank")
+			}
+		}
+		na.freeList[order] = append(na.freeList[order], start)
+		na.freeSet[start] = order
+		start += MFN(FramesOf(order))
+		remaining -= FramesOf(order)
+	}
+}
+
+// Reset returns every node's free lists to the pristine shape
+// NewAllocator seeds — same blocks, same per-order LIFO order — no
+// matter what sequence of Alloc and Free calls ran in between. The
+// existing list and set storage is reused, so a reset machine allocates
+// nothing new. It is the bottom layer of the warm-machine reset
+// protocol: every allocation after a Reset behaves bit-for-bit as on a
+// freshly built allocator.
+func (a *Allocator) Reset() {
+	for i := range a.nodes {
+		na := &a.nodes[i]
+		for o := range na.freeList {
+			na.freeList[o] = na.freeList[o][:0]
+		}
+		clear(na.freeSet)
+		na.seed()
+	}
 }
 
 // NodeOf returns the node owning mfn (the NUMA-region map).

@@ -211,7 +211,13 @@ func (p *roundStatic) OnPageQueue(DomainOps, []PageOp) int { return 0 }
 // firstTouch implements §4.2: released pages have their hypervisor
 // page-table entry invalidated so the next access faults, and the fault
 // allocates the backing frame on the accessor's node.
-type firstTouch struct{}
+type firstTouch struct {
+	// seen is OnPageQueue's per-batch dedup scratch, kept across batches
+	// so the free-list flush on a policy switch (thousands of batches)
+	// reuses one map instead of allocating per call. Policies are
+	// per-domain and batches are processed one at a time, so no aliasing.
+	seen map[mem.PFN]struct{}
+}
 
 func (p *firstTouch) Kind() Kind { return FirstTouch }
 
@@ -233,14 +239,18 @@ func (p *firstTouch) HandleFault(d DomainOps, pfn mem.PFN, accessor numa.NodeID,
 // is a release, and leave reallocated pages where they are (copying their
 // content would be too costly in the common case).
 func (p *firstTouch) OnPageQueue(d DomainOps, ops []PageOp) int {
-	seen := make(map[mem.PFN]struct{}, len(ops))
+	if p.seen == nil {
+		p.seen = make(map[mem.PFN]struct{}, len(ops))
+	} else {
+		clear(p.seen)
+	}
 	invalidated := 0
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]
-		if _, dup := seen[op.PFN]; dup {
+		if _, dup := p.seen[op.PFN]; dup {
 			continue
 		}
-		seen[op.PFN] = struct{}{}
+		p.seen[op.PFN] = struct{}{}
 		if op.Kind == OpRelease {
 			d.InvalidatePage(op.PFN)
 			invalidated++

@@ -63,6 +63,14 @@ func (g *GuestTable) Unmap(v VPN) mem.PFN {
 	return p
 }
 
+// Reset returns the table to its freshly constructed state. The entry
+// storage is kept: clearing a Go map retains its buckets, so a recycled
+// table refilled to a similar size allocates nothing — the point of
+// reusing tables across warm-pool leases instead of rebuilding them.
+func (g *GuestTable) Reset() {
+	clear(g.entries)
+}
+
 // Len reports the number of present entries.
 func (g *GuestTable) Len() int { return len(g.entries) }
 
@@ -209,6 +217,16 @@ func (h *HypervisorTable) TranslateNoFault(pfn mem.PFN) (mem.MFN, bool) {
 		return mem.NoMFN, false
 	}
 	return e.MFN, true
+}
+
+// Reset returns the table to its freshly constructed state — no
+// entries, no fault handler, zeroed counters — keeping the entry
+// storage (map buckets) so a recycled domain's table refills without
+// rehashing.
+func (h *HypervisorTable) Reset() {
+	clear(h.entries)
+	h.handler = nil
+	h.Faults, h.WriteProtFaults = 0, 0
 }
 
 // Len reports the number of valid entries.

@@ -90,27 +90,39 @@ type frameAlloc struct {
 }
 
 func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID, boot policy.BootPlacer, pol policy.Policy) *Domain {
-	d := &Domain{
-		ID:         id,
-		Name:       spec.Name,
-		hv:         h,
-		table:      pt.NewHypervisorTable(),
-		physPages:  uint64(spec.MemBytes) / mem.PageSize,
-		bootKind:   spec.Boot,
-		bootPlacer: boot,
-		cfg:        policy.Config{Static: spec.Boot},
-		pol:        pol,
-		ownedPages: make(map[mem.PFN]mem.MFN),
-		pinned:     make(map[mem.PFN]int),
+	// A recycled shell (left behind by Hypervisor.Reset) carries the
+	// previous domain's map buckets and slice capacities; refilling it
+	// is bit-for-bit equivalent to a cold build, minus the allocation
+	// and rehash work.
+	d := h.takeShell()
+	if d == nil {
+		d = &Domain{
+			table:      pt.NewHypervisorTable(),
+			ownedPages: make(map[mem.PFN]mem.MFN),
+			pinned:     make(map[mem.PFN]int),
+		}
 	}
+	d.ID = id
+	d.Name = spec.Name
+	d.hv = h
+	d.physPages = uint64(spec.MemBytes) / mem.PageSize
+	d.bootKind = spec.Boot
+	d.bootPlacer = boot
+	d.cfg = policy.Config{Static: spec.Boot}
+	d.pol = pol
 	for i, c := range pins {
 		d.VCPUs = append(d.VCPUs, VCPU{ID: i, PCPU: c})
 	}
-	seen := make(map[numa.NodeID]bool)
 	for _, c := range pins {
 		n := h.Topo.NodeOf(c)
-		if !seen[n] {
-			seen[n] = true
+		found := false
+		for _, home := range d.homes {
+			if home == n {
+				found = true
+				break
+			}
+		}
+		if !found {
 			d.homes = append(d.homes, n)
 		}
 	}
@@ -122,6 +134,36 @@ func newDomain(h *Hypervisor, id DomID, spec DomainSpec, pins []numa.CPUID, boot
 		d.pol.HandleFault(d, pfn, d.accessor, kind)
 	})
 	return d
+}
+
+// recycleShell strips a domain down to its reusable storage — page-table
+// buckets, ownership maps, slice capacities — and clears everything
+// else, so newDomain can refill it exactly as it fills a zero literal.
+// The domain's frames are NOT returned to the allocator: recycling
+// happens only from Hypervisor.Reset, which restores the whole
+// allocator to pristine shape wholesale.
+func (d *Domain) recycleShell() {
+	d.table.Reset()
+	clear(d.ownedPages)
+	clear(d.pinned)
+	d.frames = d.frames[:0]
+	d.VCPUs = d.VCPUs[:0]
+	d.homes = d.homes[:0]
+	d.grants = nil
+	d.CarrefourHook = nil
+	d.OnPlace, d.OnInvalidate = nil, nil
+	d.bootPlacer, d.pol = nil, nil
+	d.Faults, d.FaultTime = 0, 0
+	d.Hypercalls, d.HypercallTime = 0, 0
+	d.Migrated, d.Invalidated = 0, 0
+	d.nextAllocNode = 0
+	d.passthrough = false
+	d.accessor = 0
+	d.hv = nil
+	d.ID, d.Name = 0, ""
+	d.physPages = 0
+	d.bootKind = ""
+	d.cfg = policy.Config{}
 }
 
 // populate eagerly builds the physical address space through the boot

@@ -108,6 +108,12 @@ type Hypervisor struct {
 	// consolidated setups).
 	cpuUse []int
 
+	// shells holds stripped domain carcasses left behind by Reset;
+	// newDomain pops one instead of allocating fresh page tables and
+	// ownership maps. Empty outside warm-pool use, so cold-build paths
+	// are untouched.
+	shells []*Domain
+
 	// Counters.
 	Hypercalls      uint64
 	HypercallTime   sim.Time
@@ -300,3 +306,69 @@ func (h *Hypervisor) packVCPUs(vcpus int, memBytes int64) ([]numa.CPUID, error) 
 
 // CPULoad returns the number of vCPUs sharing physical CPU c.
 func (h *Hypervisor) CPULoad(c numa.CPUID) int { return h.cpuUse[c] }
+
+// takeShell pops a recycled domain shell, or returns nil when none is
+// available (the cold-build case).
+func (h *Hypervisor) takeShell() *Domain {
+	if n := len(h.shells); n > 0 {
+		d := h.shells[n-1]
+		h.shells[n-1] = nil
+		h.shells = h.shells[:n-1]
+		return d
+	}
+	return nil
+}
+
+// Reset returns the hypervisor to its just-booted state so a warm-pool
+// lease can build new guest domains on it: every domU is torn down (its
+// storage kept as a shell for the next CreateDomain), the buddy
+// allocator is restored to pristine shape wholesale, and dom0's boot
+// allocations are replayed on top so the machine's free memory is
+// bit-identical to a freshly booted hypervisor's. All counters reset.
+//
+// Reset requires that dom0 holds only block allocations from boot (no
+// page-grained ownership), which is true in every cell: nothing runs a
+// policy on dom0. It panics otherwise rather than reconstruct an
+// unknowable allocation order.
+func (h *Hypervisor) Reset() {
+	for id := DomID(1); id < h.nextID; id++ {
+		d, ok := h.domains[id]
+		if !ok {
+			continue
+		}
+		d.recycleShell()
+		h.shells = append(h.shells, d)
+		delete(h.domains, id)
+	}
+	h.nextID = 1
+	for i := range h.cpuUse {
+		h.cpuUse[i] = 0
+	}
+	h.Hypercalls, h.HypercallTime = 0, 0
+	h.PageFaults, h.PagesMigrated = 0, 0
+	h.EntriesFlushed = 0
+	h.MigrationTime, h.FaultTime = 0, 0
+	h.PassthroughOffs = 0
+
+	dom0 := h.domains[0]
+	if len(dom0.ownedPages) != 0 {
+		panic("xen: Reset with page-grained dom0 allocations")
+	}
+	// Restore the allocator to pristine shape, then replay dom0's boot
+	// allocations in their original order. The buddy allocator is
+	// deterministic in its state, so each replayed Alloc must return the
+	// frame dom0 already maps — any divergence means the pristine shape
+	// was not restored and the machine would no longer be bit-identical
+	// to a cold boot.
+	h.Alloc.Reset()
+	for _, f := range dom0.frames {
+		mfn, err := h.Alloc.Alloc(h.Alloc.NodeOf(f.mfn), f.order)
+		if err != nil || mfn != f.mfn {
+			panic(fmt.Sprintf("xen: dom0 frame replay diverged: got %v/%v, want %d", mfn, err, f.mfn))
+		}
+	}
+	dom0.Faults, dom0.FaultTime = 0, 0
+	dom0.Hypercalls, dom0.HypercallTime = 0, 0
+	dom0.Migrated, dom0.Invalidated = 0, 0
+	dom0.nextAllocNode = 0
+}

@@ -1,0 +1,151 @@
+package xennuma
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/guest"
+	"repro/internal/workload"
+	"repro/internal/xen"
+)
+
+// poolKey is the run-constant shape of a machine: everything that
+// determines the sizes of the allocations a cell builds — the scaled
+// topology, the hypervisor configuration that varies per run (IOMMU),
+// the VM count and each VM's memory size. Cells of the same shape reuse
+// each other's machines; the key is purely a performance choice (reset
+// machines are pristine, so a collision would still be correct — the
+// recycled buckets would just be the wrong size).
+type poolKey struct {
+	scale   int
+	xenplus bool
+	vms     int
+	mem0    int64
+	mem1    int64
+}
+
+// machine is one poolable world: a hypervisor plus the per-VM guest
+// backends and engine instances of its previous lease, kept so the next
+// lease of the same shape rebuilds them in place.
+type machine struct {
+	hv    *xen.Hypervisor
+	backs [2]*guest.Backend
+	insts [2]*engine.Instance
+}
+
+// Pool is a deterministic warm-machine pool: Xen runs with Options.Pool
+// set lease a pre-built machine of matching shape instead of
+// cold-building one, reset it to its just-booted state, and return it
+// when the run completes. Leases are exclusive, so a pool is safe at
+// any worker count; results are bit-for-bit identical with or without
+// one (pinned by TestPooledCellsMatchFreshSuites). Sweeps attach one
+// pool per suite.
+type Pool struct {
+	mu     sync.Mutex
+	free   map[poolKey][]*machine
+	hits   uint64
+	misses uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{free: make(map[poolKey][]*machine)} }
+
+// Stats reports how many leases found a warm machine (hits) and how
+// many had to cold-build one (misses).
+func (p *Pool) Stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// lease pops a free machine of the given shape, or returns nil when the
+// caller must cold-build one.
+func (p *Pool) lease(key poolKey) *machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := p.free[key]
+	if n := len(l); n > 0 {
+		m := l[n-1]
+		l[n-1] = nil
+		p.free[key] = l[:n-1]
+		p.hits++
+		return m
+	}
+	p.misses++
+	return nil
+}
+
+// release returns a machine to the free list after a completed run.
+func (p *Pool) release(key poolKey, m *machine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free[key] = append(p.free[key], m)
+}
+
+// pool returns the effective pool for the run: nil when none is
+// attached or the NoPool reference path is selected.
+func (o Options) pool() *Pool {
+	if o.NoPool {
+		return nil
+	}
+	return o.Pool
+}
+
+// acquire produces the run's machine: a reset warm one when the pool
+// has a matching shape, a cold-built one otherwise.
+func acquire(o Options, key poolKey) (*machine, error) {
+	if p := o.pool(); p != nil {
+		if m := p.lease(key); m != nil {
+			m.hv.Reset()
+			return m, nil
+		}
+	}
+	hv, err := newHypervisor(scaledTopo(o.Scale), o)
+	if err != nil {
+		return nil, err
+	}
+	return &machine{hv: hv}, nil
+}
+
+// releaseMachine hands the machine back to the pool, if any. Machines
+// of runs that failed mid-build are dropped instead: their state is
+// neither pristine nor resettable-by-construction.
+func releaseMachine(o Options, key poolKey, m *machine) {
+	if p := o.pool(); p != nil {
+		p.release(key, m)
+	}
+}
+
+// runShape is the cached per-cell constant state derived from
+// (scale, app, vms): the workload profile and the VM memory size.
+// Sweeps rebuild the same handful of shapes thousands of times, so —
+// like topoCache one level down — the derivation runs once per shape
+// instead of once per cell.
+type runShape struct {
+	prof     workload.Profile
+	memBytes int64
+}
+
+type shapeKey struct {
+	scale int
+	app   string
+	vms   int
+}
+
+var shapeCache sync.Map // shapeKey -> runShape
+
+// cellShape returns the cached profile and VM memory size for one cell.
+// o must be normalized.
+func cellShape(o Options, app string, vms int) (runShape, error) {
+	key := shapeKey{scale: o.Scale, app: app, vms: vms}
+	if s, ok := shapeCache.Load(key); ok {
+		return s.(runShape), nil
+	}
+	prof, err := workload.Get(app)
+	if err != nil {
+		return runShape{}, err
+	}
+	shape := runShape{prof: prof, memBytes: vmMemBytes(scaledTopo(o.Scale), prof, o, vms)}
+	s, _ := shapeCache.LoadOrStore(key, shape)
+	return s.(runShape), nil
+}

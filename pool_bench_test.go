@@ -1,0 +1,43 @@
+package xennuma
+
+import "testing"
+
+// BenchmarkCellConstruction isolates the per-cell machine cost from the
+// simulation itself: one op is acquire (hypervisor build or warm-pool
+// lease + reset), VM creation with guest backend and engine instance,
+// and release. The fresh variant is the pre-pool cost every cell used
+// to pay; the pooled variant is the steady-state cost of a sweep whose
+// cells reuse one machine shape. scripts/bench_suite.sh records both in
+// BENCH_suite.json — the gap between them is the warm pool's win.
+func BenchmarkCellConstruction(b *testing.B) {
+	pol, err := ParsePolicy("first-touch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, o Options) {
+		o = o.normalized()
+		shape, err := cellShape(o, "swaptions", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := poolKey{scale: o.Scale, xenplus: o.XenPlus, vms: 1, mem0: shape.memBytes}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := acquire(o, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := buildXenInstance(m, 0, shape.prof, pol, o, nil, shape.memBytes); err != nil {
+				b.Fatal(err)
+			}
+			releaseMachine(o, key, m)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		run(b, Options{Scale: 256, XenPlus: true, NoPool: true})
+	})
+	b.Run("pooled", func(b *testing.B) {
+		run(b, Options{Scale: 256, XenPlus: true, Pool: NewPool()})
+	})
+}

@@ -1,16 +1,19 @@
 #!/usr/bin/env sh
 # bench_suite.sh — run the experiment-suite throughput benchmark and
 # track the trajectory against BENCH_suite.json (ns per fixed sweep
-# batch, cells/sec).
+# batch, cells/sec), plus the per-cell machine-construction cost
+# (BenchmarkCellConstruction fresh vs pooled — the warm pool's win).
 #
 #   scripts/bench_suite.sh             # one pass, rewrites BENCH_suite.json
-#   scripts/bench_suite.sh check       # gate: exit 1 on a >25% ns/op
-#                                      # regression vs the committed file
+#   scripts/bench_suite.sh check       # gate: exit 1 on a >25% regression
+#                                      # in ns/op, bytes/op or allocs/op
+#                                      # vs the committed file
 #   COUNT=3 scripts/bench_suite.sh     # more -count repetitions (best wins)
 #
-# Unlike bench_engine.sh there is no allocs gate: a sweep batch builds
-# whole machines and suites, so it allocates by design; the number to
-# watch is cells/sec.
+# A sweep batch builds whole suites so it still allocates, but with the
+# warm-machine pool the per-cell churn is bounded: bytes/op and
+# allocs/op get the same soft 25% gate as ns/op so pool regressions
+# (missed leases, lost reuse in the reset protocol) fail check mode.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,6 +28,8 @@ esac
 
 out=$(go test -run '^$' -bench BenchmarkSuiteSweep -benchmem -count "${COUNT:-1}" ./internal/exp/)
 printf '%s\n' "$out"
+cellout=$(go test -run '^$' -bench BenchmarkCellConstruction -benchmem -count "${COUNT:-1}" .)
+printf '%s\n' "$cellout"
 
 # Keep the best (minimum-ns) repetition: the least-noisy estimate.
 # With -benchmem the fields are: name iters ns "ns/op" cells
@@ -46,32 +51,73 @@ END {
 set -- $line
 name=$1 iters=$2 ns=$3 cells=$4 bytes=$5 allocs=$6
 
+# Cell-construction sub-benchmarks (no cells/sec metric): fields are
+# name iters ns "ns/op" bytes "B/op" allocs "allocs/op".
+cell_best() {
+	printf '%s\n' "$cellout" | awk -v want="$1" '
+BEGIN { re = "^BenchmarkCellConstruction/" want "(-|$)" }
+$1 ~ re {
+	if (best == "" || $3 + 0 < best + 0) {
+		best = $3
+		ns = $3; bytes = $5; allocs = $7
+	}
+}
+END {
+	if (ns == "") {
+		print "bench_suite.sh: no BenchmarkCellConstruction/" want " line" > "/dev/stderr"
+		exit 1
+	}
+	print ns, bytes, allocs
+}'
+}
+set -- $(cell_best fresh)
+cell_fresh_ns=$1 cell_fresh_bytes=$2 cell_fresh_allocs=$3
+set -- $(cell_best pooled)
+cell_pooled_ns=$1 cell_pooled_bytes=$2 cell_pooled_allocs=$3
+
 if [ "$mode" = check ]; then
 	if [ ! -f BENCH_suite.json ]; then
 		echo "bench_suite.sh: no committed BENCH_suite.json to compare against" >&2
 		exit 1
 	fi
-	old=$(awk -F: '/"ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_suite.json)
-	# ns/op carries hardware variance, so the gate only catches gross
-	# (>25%) slowdowns of the fixed batch against the committed file.
-	awk -v new="$ns" -v old="$old" -v cells="$cells" 'BEGIN {
+	json_num() {
+		awk -F: -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' BENCH_suite.json
+	}
+	old_ns=$(json_num ns_per_op)
+	old_bytes=$(json_num bytes_per_op)
+	old_allocs=$(json_num allocs_per_op)
+	# All three carry some variance, so each gate only catches gross
+	# (>25%) regressions of the fixed batch against the committed file.
+	awk -v ns="$ns" -v old_ns="$old_ns" \
+		-v bytes="$bytes" -v old_bytes="$old_bytes" \
+		-v allocs="$allocs" -v old_allocs="$old_allocs" \
+		-v cells="$cells" '
+	function gate(label, new, old) {
 		if (old + 0 <= 0) {
-			print "bench_suite.sh: bad ns_per_op in BENCH_suite.json" > "/dev/stderr"
-			exit 1
+			printf "bench_suite.sh: bad committed value for %s\n", label > "/dev/stderr"
+			fail = 1
+			return
 		}
 		ratio = new / old
-		printf "bench_suite.sh: %s ns/batch vs committed %s (%.2fx), %s cells/sec\n", new, old, ratio, cells
+		printf "bench_suite.sh: %s %s vs committed %s (%.2fx)\n", label, new, old, ratio
 		if (ratio > 1.25) {
-			print "bench_suite.sh: REGRESSION — sweep batch more than 25% slower than BENCH_suite.json" > "/dev/stderr"
-			exit 1
+			printf "bench_suite.sh: REGRESSION — %s more than 25%% above BENCH_suite.json\n", label > "/dev/stderr"
+			fail = 1
 		}
+	}
+	BEGIN {
+		fail = 0
+		gate("ns/batch", ns, old_ns)
+		gate("bytes/batch", bytes, old_bytes)
+		gate("allocs/batch", allocs, old_allocs)
+		printf "bench_suite.sh: %s cells/sec\n", cells
+		exit fail
 	}'
 	exit 0
 fi
 
-# bytes/allocs are trajectory only (no gate): a sweep batch builds whole
-# machines and suites, so it allocates by design — the history just makes
-# arena/caching wins visible.
+# The cell_* keys are trajectory only (no gate): they decompose the
+# suite numbers into per-cell machine construction, fresh vs pooled.
 cat >BENCH_suite.json <<EOF
 {
   "benchmark": "$name",
@@ -79,7 +125,13 @@ cat >BENCH_suite.json <<EOF
   "ns_per_op": $ns,
   "cells_per_sec": $cells,
   "bytes_per_op": $bytes,
-  "allocs_per_op": $allocs
+  "allocs_per_op": $allocs,
+  "cell_fresh_ns_per_op": $cell_fresh_ns,
+  "cell_fresh_bytes_per_op": $cell_fresh_bytes,
+  "cell_fresh_allocs_per_op": $cell_fresh_allocs,
+  "cell_pooled_ns_per_op": $cell_pooled_ns,
+  "cell_pooled_bytes_per_op": $cell_pooled_bytes,
+  "cell_pooled_allocs_per_op": $cell_pooled_allocs
 }
 EOF
 

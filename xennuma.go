@@ -97,6 +97,16 @@ type Options struct {
 	// Replication enables Carrefour's replication heuristic, which the
 	// paper deliberately leaves out (§3.4); off by default.
 	Replication bool
+	// Pool, when non-nil, lends warm machines to Xen runs: the run
+	// leases a pre-built machine of matching shape, resets it and
+	// rebuilds only the seed/app/policy-dependent state, returning it on
+	// completion. Results are bit-for-bit identical with or without a
+	// pool. Sweeps attach one per suite.
+	Pool *Pool
+	// NoPool forces cold-built machines even when Pool is set — the
+	// always-fresh reference path the pooled-vs-fresh equivalence tests
+	// pin against, mirroring noBatch.
+	NoPool bool
 	// noBatch selects the engine's per-instance reference kernel, for
 	// the batched-kernel equivalence tests. Unexported on purpose: it is
 	// bit-for-bit identical to the default, just slower.
@@ -143,16 +153,17 @@ func (o Options) normalized() Options {
 // NUMA policy, and returns its completion time and placement statistics.
 func RunXen(app string, pol Policy, o Options) (Result, error) {
 	o = o.normalized()
-	prof, err := workload.Get(app)
+	shape, err := cellShape(o, app, 1)
 	if err != nil {
 		return Result{}, err
 	}
 	topo := scaledTopo(o.Scale)
-	hv, err := newHypervisor(topo, o)
+	key := poolKey{scale: o.Scale, xenplus: o.XenPlus, vms: 1, mem0: shape.memBytes}
+	m, err := acquire(o, key)
 	if err != nil {
 		return Result{}, err
 	}
-	inst, err := buildXenInstance(hv, topo, prof, pol, o, nil)
+	inst, err := buildXenInstance(m, 0, shape.prof, pol, o, nil, shape.memBytes)
 	if err != nil {
 		return Result{}, err
 	}
@@ -161,6 +172,7 @@ func RunXen(app string, pol Policy, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	releaseMachine(o, key, m)
 	return res[0], nil
 }
 
@@ -225,16 +237,24 @@ const (
 // halves swapped; pass swap=true for the second run.
 func RunXenPair(app1 string, pol1 Policy, app2 string, pol2 Policy, mode PairMode, swap bool, o Options) (Result, Result, error) {
 	o = o.normalized()
-	prof1, err := workload.Get(app1)
+	// Memory sizing counts VMs per memory partition: colocated VMs split
+	// the machine (each sized as one of two), consolidated VMs each span
+	// all of it (each sized as if alone), matching the paper's setups.
+	memVMs := 1
+	if mode == Colocated {
+		memVMs = 2
+	}
+	shape1, err := cellShape(o, app1, memVMs)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	prof2, err := workload.Get(app2)
+	shape2, err := cellShape(o, app2, memVMs)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
 	topo := scaledTopo(o.Scale)
-	hv, err := newHypervisor(topo, o)
+	key := poolKey{scale: o.Scale, xenplus: o.XenPlus, vms: 2, mem0: shape1.memBytes, mem1: shape2.memBytes}
+	m, err := acquire(o, key)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
@@ -266,11 +286,11 @@ func RunXenPair(app1 string, pol1 Policy, app2 string, pol2 Policy, mode PairMod
 	}
 	o1, o2 := o, o
 	o1.Threads, o2.Threads = threads, threads
-	inst1, err := buildXenInstance(hv, topo, prof1, pol1, o1, pins1)
+	inst1, err := buildXenInstance(m, 0, shape1.prof, pol1, o1, pins1, shape1.memBytes)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	inst2, err := buildXenInstance(hv, topo, prof2, pol2, o2, pins2)
+	inst2, err := buildXenInstance(m, 1, shape2.prof, pol2, o2, pins2, shape2.memBytes)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
@@ -279,6 +299,7 @@ func RunXenPair(app1 string, pol1 Policy, app2 string, pol2 Policy, mode PairMod
 	if err != nil {
 		return Result{}, Result{}, err
 	}
+	releaseMachine(o, key, m)
 	return res[0], res[1], nil
 }
 
@@ -308,15 +329,16 @@ func vmMemBytes(topo *numa.Topology, prof workload.Profile, o Options, vms int) 
 	return memBytes
 }
 
-func buildXenInstance(hv *xen.Hypervisor, topo *numa.Topology, prof workload.Profile, pol Policy, o Options, pins []numa.CPUID) (*engine.Instance, error) {
+// buildXenInstance creates the VM for one instance slot of m's machine
+// and (re)builds its guest backend and engine instance. On a warm lease
+// the slot's previous backend and instance are recycled in place; the
+// result is bit-for-bit identical to a cold build either way.
+func buildXenInstance(m *machine, slot int, prof workload.Profile, pol Policy, o Options, pins []numa.CPUID, memBytes int64) (*engine.Instance, error) {
 	boot, err := policy.BootKind(pol.Static)
 	if err != nil {
 		return nil, err
 	}
-	vms := 1
-	if len(pins) > 0 && len(pins) < topo.NumCPUs() {
-		vms = 2
-	}
+	topo := m.hv.Topo
 	if len(pins) == 0 {
 		for c := 0; c < o.Threads && c < topo.NumCPUs(); c++ {
 			pins = append(pins, numa.CPUID(c))
@@ -325,27 +347,34 @@ func buildXenInstance(hv *xen.Hypervisor, topo *numa.Topology, prof workload.Pro
 	spec := xen.DomainSpec{
 		Name:     prof.Name,
 		VCPUs:    len(pins),
-		MemBytes: vmMemBytes(topo, prof, o, vms),
+		MemBytes: memBytes,
 		PinCPUs:  pins,
 		Boot:     boot,
 	}
-	dom, err := hv.CreateDomain(spec)
+	dom, err := m.hv.CreateDomain(spec)
 	if err != nil {
 		return nil, err
 	}
-	b, _, err := guest.NewBackend(hv, dom, o.Queue, pol)
+	b, _, err := guest.RebuildBackend(m.backs[slot], m.hv, dom, o.Queue, pol)
 	if err != nil {
 		return nil, err
 	}
-	return &engine.Instance{
-		Prof:          prof,
-		Backend:       b,
-		NThreads:      o.Threads,
-		Carrefour:     pol.Carrefour,
-		CarrefourMode: carrefourMode(pol),
-		MCS:           o.XenPlus && prof.UsesPthreadSync,
-		LargePages:    o.LargePages,
-	}, nil
+	m.backs[slot] = b
+	in := m.insts[slot]
+	if in == nil {
+		in = &engine.Instance{}
+		m.insts[slot] = in
+	} else {
+		in.Recycle()
+	}
+	in.Prof = prof
+	in.Backend = b
+	in.NThreads = o.Threads
+	in.Carrefour = pol.Carrefour
+	in.CarrefourMode = carrefourMode(pol)
+	in.MCS = o.XenPlus && prof.UsesPthreadSync
+	in.LargePages = o.LargePages
+	return in, nil
 }
 
 // Apps returns the 29 application names of the paper's evaluation.
