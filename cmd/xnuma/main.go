@@ -16,6 +16,8 @@
 //	xnuma sweep -apps all -seeds 3     # every app × every seed on one pool
 //	xnuma advise               # §3.5.2 advisor vs exhaustive sweep
 //	xnuma topo                 # dump the machine topology
+//	xnuma serve                # resident sweep service on stdin/stdout
+//	xnuma serve -listen :8080 -cache-dir ~/.cache/xnuma  # + HTTP, warm restarts
 //
 // Flags:
 //
@@ -30,13 +32,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	xennuma "repro"
@@ -44,6 +51,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/numa"
 	"repro/internal/policy"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -52,8 +60,13 @@ func main() {
 
 // run is the testable CLI entry point: it parses argv, executes one
 // command and returns the process exit code (0 ok, 1 runtime error,
-// 2 usage error).
-func run(argv []string, stdout, stderr io.Writer) (code int) {
+// 2 usage error). The serve subcommand reads requests from os.Stdin;
+// tests inject their own reader through runIO.
+func run(argv []string, stdout, stderr io.Writer) int {
+	return runIO(argv, os.Stdin, stdout, stderr)
+}
+
+func runIO(argv []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("xnuma", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scale := fs.Int("scale", 64, "machine and footprint scale divisor (power of two)")
@@ -67,7 +80,8 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintln(stderr, `xnuma — regenerate the paper's evaluation on the simulated stack
 usage:
   xnuma [flags] list | policies | all | topo | <experiment-id>... | run <app> <policy>
-  xnuma [flags] sweep [-bind] [-seeds N] (<app> | -apps a,b,…|all) | advise [app...]`)
+  xnuma [flags] sweep [-bind] [-seeds N] (<app> | -apps a,b,…|all) | advise [app...]
+  xnuma [flags] serve [-listen addr] [-cache-dir dir] [-timeout d]`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -174,6 +188,10 @@ usage:
 		}
 	case "sweep":
 		if c := runSweep(s, stdout, stderr, render, *progress, args[1:]); c != 0 {
+			return c
+		}
+	case "serve":
+		if c := runServe(s, stdin, stdout, stderr, args[1:]); c != 0 {
 			return c
 		}
 	case "advise":
@@ -400,6 +418,85 @@ func runOne(s *exp.Suite, stdout io.Writer, app, pol string) error {
 	fmt.Fprintf(stdout, "locality:     %.2f\n", r.Locality)
 	fmt.Fprintf(stdout, "migrated:     %d pages\n", r.Migrated)
 	return nil
+}
+
+// runServe starts the resident sweep service on the suite: JSON-lines
+// requests on stdin answered on stdout and, with -listen, the same
+// protocol over HTTP (POST /rpc). The service drains gracefully on
+// stdin EOF, SIGTERM or SIGINT — in-flight requests finish, the HTTP
+// listener shuts down, and with -cache-dir the cell cache is persisted
+// for the next start. Diagnostics (warm-start counts, listener address,
+// the final summary) go to stderr; stdout carries only protocol lines.
+// It reports its errors itself and returns the exit code.
+func runServe(s *exp.Suite, stdin io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("xnuma serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "", "also serve the protocol over HTTP on this address (POST /rpc)")
+	cacheDir := fs.String("cache-dir", "", "persist the cell cache in this directory across restarts")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none); timed-out work keeps computing")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: xnuma serve [-listen addr] [-cache-dir dir] [-timeout d]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "xnuma: serve takes no positional arguments")
+		return 2
+	}
+
+	srv := serve.New(s, serve.Config{
+		ModelVersion: xennuma.ModelVersion(),
+		CacheDir:     *cacheDir,
+		Timeout:      *timeout,
+	})
+	if *cacheDir != "" {
+		switch n, err := srv.LoadCache(); {
+		case err != nil:
+			fmt.Fprintf(stderr, "xnuma: serve: cache: %v\n", err)
+		case n > 0:
+			fmt.Fprintf(stderr, "xnuma: serve: warm start: %d cells restored\n", n)
+		}
+	}
+
+	var httpSrv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "xnuma:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "xnuma: serve: listening on http://%s/rpc\n", ln.Addr())
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := srv.Serve(ctx, stdin, stdout)
+	if httpSrv != nil {
+		httpSrv.Shutdown(context.Background())
+	}
+	srv.Drain()
+	code := 0
+	if err != nil {
+		fmt.Fprintln(stderr, "xnuma:", err)
+		code = 1
+	}
+	if *cacheDir != "" {
+		if n, serr := srv.SaveCache(); serr != nil {
+			fmt.Fprintf(stderr, "xnuma: serve: cache: %v\n", serr)
+			code = 1
+		} else {
+			fmt.Fprintf(stderr, "xnuma: serve: cache saved: %d cells\n", n)
+		}
+	}
+	fmt.Fprintf(stderr, "xnuma: serve: %s\n", srv.Stats())
+	return code
 }
 
 func dumpTopology(stdout io.Writer, scale int) {

@@ -104,6 +104,26 @@ func (c *resultCache) claim(key string) (cl *cell, created bool) {
 	return cl, true
 }
 
+// get returns the cell for key without claiming it.
+func (c *resultCache) get(key string) (*cell, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cl, ok := sh.m[key]
+	return cl, ok
+}
+
+// resolved reports whether the cell's computation has finished (its
+// res/err fields are safe to read).
+func (cl *cell) resolved() bool {
+	select {
+	case <-cl.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // has reports whether key is already claimed (computed or in flight)
 // without claiming it.
 func (c *resultCache) has(key string) bool {

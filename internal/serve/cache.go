@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+// Disk persistence of the cell cache: the suite's computed cells are
+// snapshotted to one JSON file under Config.CacheDir, stamped with the
+// model version. Cells are keyed by the cache's own "seed=N/<key>"
+// strings, so a restart restores exactly the entries a fresh
+// computation would have produced; a stamp mismatch — the engine's
+// observable behaviour changed, by policy regenerating the golden
+// fixture — rejects the whole file rather than replaying results the
+// current model would not compute.
+
+// cacheFileName is the single cache file inside CacheDir.
+const cacheFileName = "cells.json"
+
+// cacheFile is the on-disk format.
+type cacheFile struct {
+	Model string             `json:"model"`
+	Cells []exp.CellSnapshot `json:"cells"`
+}
+
+// LoadCache restores the persisted cell cache, returning how many cells
+// were installed. A missing file or empty CacheDir is a clean cold
+// start (0, nil). A corrupt file or a model-version mismatch returns an
+// error and installs nothing — the caller logs it and serves cold; the
+// stale file is overwritten by the next SaveCache.
+func (s *Server) LoadCache() (int, error) {
+	if s.cfg.CacheDir == "" {
+		return 0, nil
+	}
+	path := filepath.Join(s.cfg.CacheDir, cacheFileName)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return 0, fmt.Errorf("corrupt cache %s: %v", path, err)
+	}
+	if f.Model != s.cfg.ModelVersion {
+		return 0, fmt.Errorf("stale cache %s: model %q, engine is %q; recomputing",
+			path, f.Model, s.cfg.ModelVersion)
+	}
+	n := s.suite.Restore(f.Cells)
+	s.restored.Add(int64(n))
+	return n, nil
+}
+
+// SaveCache snapshots the suite's computed cells to CacheDir, returning
+// how many were written. The write is atomic (temp file + rename), so a
+// crash mid-save leaves the previous cache intact.
+func (s *Server) SaveCache() (int, error) {
+	if s.cfg.CacheDir == "" {
+		return 0, nil
+	}
+	cells := s.suite.Snapshot()
+	b, err := json.Marshal(cacheFile{Model: s.cfg.ModelVersion, Cells: cells})
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(s.cfg.CacheDir, cacheFileName)
+	tmp, err := os.CreateTemp(s.cfg.CacheDir, cacheFileName+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return len(cells), nil
+}

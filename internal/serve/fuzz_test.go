@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the protocol decoder: whatever bytes arrive
+// on a line, the decoder must return either a normalized request or a
+// structured error — never panic, never hang — and the error must
+// marshal into a single well-formed response line (no embedded newline,
+// so the JSON-lines framing survives hostile ids). CI runs a short
+// -fuzztime smoke of this target on every push.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		// Valid requests, every op and parameter.
+		`{"op":"stats"}`,
+		`{"op":"policies"}`,
+		`{"id":"1","op":"sweep","app":"cg.C"}`,
+		`{"id":"2","op":"sweep","apps":["cg.C","sp.C"],"seeds":3,"md":true}`,
+		`{"op":"sweep","app":"all"}`,
+		`{"op":"sweep","app":"cg.C","bind":true}`,
+		`{"op":"advise"}`,
+		`{"op":"advise","apps":["facesim"],"target":"linux"}`,
+		// Truncated and malformed.
+		`{"op":"swe`,
+		`{"op":"sweep","app":`,
+		`{`,
+		``,
+		`null`,
+		`true`,
+		`42`,
+		`"sweep"`,
+		`[{"op":"stats"}]`,
+		`{"op":"stats"}{"op":"stats"}`,
+		`{"op":"stats"} trailing`,
+		// Hostile: unknown fields, wrong types, deep nesting, control
+		// characters and newlines in strings, huge numbers, long ids.
+		`{"op":"stats","evil":{"a":[[[[[[[[{"b":1}]]]]]]]]}}`,
+		`{"op":"sweep","app":123}`,
+		`{"op":"sweep","app":"cg.C","seeds":"three"}`,
+		`{"op":"sweep","app":"cg.C","seeds":99999999999999999999}`,
+		`{"id":"a\nb","op":"stats"}`,
+		`{"id":"` + strings.Repeat("x", 300) + `","op":"stats"}`,
+		"{\"op\":\"\x00\"}",
+		"{\"op\":\"stats\"}\r",
+		`{"apps":["all"],"op":"sweep"}`,
+		`{"op":"sweep","apps":[]}`,
+		`{"op":"sweep","apps":["cg.C","nope"]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, errInfo := decodeRequest(line)
+		if errInfo != nil {
+			if errInfo.Code == "" || errInfo.Message == "" {
+				t.Fatalf("unstructured error %+v for %q", errInfo, line)
+			}
+			resp := marshalResponse(req.ID, nil, errInfo)
+			if bytes.IndexByte(resp, '\n') >= 0 {
+				t.Fatalf("error response breaks line framing: %q", resp)
+			}
+			var decoded Response
+			if err := json.Unmarshal(resp, &decoded); err != nil {
+				t.Fatalf("error response is not JSON: %v: %q", err, resp)
+			}
+			if decoded.OK || decoded.Error == nil {
+				t.Fatalf("error response not marked as error: %q", resp)
+			}
+			return
+		}
+		// Accepted requests decode deterministically: same line, same
+		// normalized request, same coalescing key.
+		req2, errInfo2 := decodeRequest(line)
+		if errInfo2 != nil {
+			t.Fatalf("second decode of %q errored: %+v", line, errInfo2)
+		}
+		if req.key() != req2.key() {
+			t.Fatalf("unstable key for %q: %q vs %q", line, req.key(), req2.key())
+		}
+		if len(req.Apps) == 0 && (req.Op == "sweep" || req.Op == "advise") {
+			t.Fatalf("normalized %s request has no apps: %q", req.Op, line)
+		}
+		if bytes.IndexByte(marshalResponse(req.ID, nil, nil), '\n') >= 0 {
+			t.Fatalf("ok response breaks line framing for id %q", req.ID)
+		}
+	})
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/exp"
+	"repro/internal/policy"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// ModelVersion stamps the persisted cache; a cache written under a
+	// different stamp is rejected on load. The CLI passes
+	// xennuma.ModelVersion().
+	ModelVersion string
+	// CacheDir, when non-empty, is where LoadCache/SaveCache persist
+	// the suite's computed cells across restarts.
+	CacheDir string
+	// Timeout bounds how long one request waits for its result; 0 means
+	// no bound. A timed-out request gets a structured "timeout" error;
+	// the computation itself cannot be cancelled and keeps running, so
+	// a retry lands on warm cells.
+	Timeout time.Duration
+}
+
+// Server is a resident sweep service: one warm exp.Suite answering
+// sweep/advise/policies/stats requests. Identical in-flight and past
+// requests coalesce on flights (so a thundering herd computes each
+// simulation cell exactly once and every member receives byte-identical
+// payload bytes), and whole-batch computation is serialized — the
+// suite's Prefetch/Join protocol is single-driver — while the cells of
+// each batch still fan out across the scheduler's full worker pool.
+type Server struct {
+	suite *exp.Suite
+	cfg   Config
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	// computeMu serializes Prefetch/Join batches: the scheduler forbids
+	// submitting concurrently with a pending Wait.
+	computeMu sync.Mutex
+	// flightWG tracks leader compute goroutines; Drain waits for it
+	// after the request sources (stdio loop, HTTP server) have stopped.
+	flightWG sync.WaitGroup
+
+	requests  atomic.Int64
+	coalesced atomic.Int64
+	failures  atomic.Int64
+	restored  atomic.Int64
+}
+
+// flight is one coalesced request computation: the leader fills result
+// or errInfo and closes done; every waiter shares the bytes. Flights
+// for cacheable ops are retained, so repeated identical requests replay
+// the exact payload without re-rendering.
+type flight struct {
+	done    chan struct{}
+	result  json.RawMessage
+	errInfo *ErrorInfo
+}
+
+// New returns a server over the given suite. The suite's Opt (seed,
+// scale, pool) is fixed for the server's lifetime; every response is a
+// deterministic function of it and the request.
+func New(s *exp.Suite, cfg Config) *Server {
+	return &Server{suite: s, cfg: cfg, flights: make(map[string]*flight)}
+}
+
+// Serve answers JSON-lines requests from r on w until r reaches EOF or
+// ctx is cancelled (the CLI cancels on SIGTERM/SIGINT), then drains:
+// every request already read gets its response before Serve returns.
+// Responses are written one per line, matched by id; their order across
+// concurrent requests is unspecified.
+func (s *Server) Serve(ctx context.Context, r io.Reader, w io.Writer) error {
+	out := &lineWriter{w: w}
+	type item struct {
+		line    []byte
+		tooLong bool
+	}
+	items := make(chan item)
+	go func() {
+		defer close(items)
+		br := bufio.NewReaderSize(r, 64<<10)
+		for {
+			line, tooLong, err := readLine(br, maxLineBytes)
+			if tooLong || len(bytes.TrimSpace(line)) > 0 {
+				select {
+				case items <- item{line: line, tooLong: tooLong}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var handlers sync.WaitGroup
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case it, ok := <-items:
+			if !ok {
+				break loop
+			}
+			if it.tooLong {
+				out.write(marshalResponse("", nil,
+					errorf("overflow", "request line exceeds %d bytes", maxLineBytes)))
+				continue
+			}
+			handlers.Add(1)
+			go func(line []byte) {
+				defer handlers.Done()
+				// Requests in flight when ctx is cancelled still finish:
+				// drain is graceful, so the timeout context derives from
+				// Background, not from ctx.
+				out.write(s.HandleLine(context.Background(), line))
+			}(it.line)
+		}
+	}
+	handlers.Wait()
+	return nil
+}
+
+// Drain blocks until every leader computation has finished. Call it
+// after the request sources (Serve, the HTTP server) have stopped and
+// before SaveCache, so the snapshot includes the tail of in-flight
+// work.
+func (s *Server) Drain() { s.flightWG.Wait() }
+
+// HandleLine answers one raw request line with one response line (no
+// trailing newline). It never panics: handler panics — including a
+// failing simulation cell surfacing through the suite — become
+// structured "internal" errors.
+func (s *Server) HandleLine(ctx context.Context, line []byte) (resp []byte) {
+	s.requests.Add(1)
+	req, errInfo := decodeRequest(line)
+	if errInfo != nil {
+		s.failures.Add(1)
+		return marshalResponse(req.ID, nil, errInfo)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.failures.Add(1)
+			resp = marshalResponse(req.ID, nil, errorf("internal", "%v", p))
+		}
+	}()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	result, errInfo := s.dispatch(ctx, req)
+	if errInfo != nil {
+		s.failures.Add(1)
+	}
+	return marshalResponse(req.ID, result, errInfo)
+}
+
+// dispatch routes one validated request: cheap ops compute inline,
+// sweep/advise coalesce through the flight table.
+func (s *Server) dispatch(ctx context.Context, req Request) (json.RawMessage, *ErrorInfo) {
+	if !req.cacheable() {
+		switch req.Op {
+		case "policies":
+			return policiesResult()
+		default: // "stats" — normalize admits nothing else
+			return s.statsResult()
+		}
+	}
+
+	fl, leader := s.claim(req.key())
+	if leader {
+		s.flightWG.Add(1)
+		go func() {
+			defer s.flightWG.Done()
+			defer close(fl.done)
+			defer func() {
+				if p := recover(); p != nil {
+					fl.errInfo = errorf("internal", "%v", p)
+				}
+			}()
+			fl.result, fl.errInfo = s.compute(req)
+		}()
+	} else {
+		s.coalesced.Add(1)
+	}
+
+	// Prefer a completed flight over an expired context, so an
+	// already-cached answer never reports timeout.
+	select {
+	case <-fl.done:
+		return fl.result, fl.errInfo
+	default:
+	}
+	select {
+	case <-fl.done:
+		return fl.result, fl.errInfo
+	case <-ctx.Done():
+		return nil, errorf("timeout", "request abandoned (%v); the computation continues and a retry will hit warm cells", ctx.Err())
+	}
+}
+
+// claim returns the flight for key, creating it (leader=true) if absent.
+func (s *Server) claim(key string) (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fl, ok := s.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[key] = fl
+	return fl, true
+}
+
+// compute runs one sweep/advise batch on the suite and marshals its
+// payload. computeMu makes batches sequential; the cells inside each
+// batch fan out across the scheduler.
+func (s *Server) compute(req Request) (json.RawMessage, *ErrorInfo) {
+	s.computeMu.Lock()
+	defer s.computeMu.Unlock()
+	var tables []*exp.Table
+	switch req.Op {
+	case "sweep":
+		switch {
+		case req.Bind:
+			tables = []*exp.Table{exp.BindSweep(s.suite, req.Apps[0])}
+		case req.Seeds > 1:
+			tables = exp.SeedSweepApps(s.suite, req.Apps, req.Seeds)
+		default:
+			tables = exp.PolicySweepApps(s.suite, req.Apps)
+		}
+	case "advise":
+		target := advisor.TargetXen
+		if req.Target == "linux" {
+			target = advisor.TargetLinux
+		}
+		tables = []*exp.Table{advisor.Table(s.suite, target, req.Apps)}
+	}
+	payload := struct {
+		Tables []TableJSON `json:"tables"`
+	}{Tables: make([]TableJSON, 0, len(tables))}
+	for _, t := range tables {
+		payload.Tables = append(payload.Tables, toTableJSON(t, req.Markdown))
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, errorf("internal", "marshal tables: %v", err)
+	}
+	return b, nil
+}
+
+// policyInfo is one registry row of the policies op.
+type policyInfo struct {
+	Name          string   `json:"name"`
+	Spelling      string   `json:"spelling"`
+	Aliases       []string `json:"aliases,omitempty"`
+	Abbrev        string   `json:"abbrev"`
+	Parameterized bool     `json:"parameterized,omitempty"`
+	Carrefour     bool     `json:"carrefour"`
+	BootOnly      bool     `json:"boot_only,omitempty"`
+	RuntimeOnly   bool     `json:"runtime_only,omitempty"`
+	Native        bool     `json:"native"`
+	Fault         string   `json:"fault"`
+}
+
+func policiesResult() (json.RawMessage, *ErrorInfo) {
+	payload := struct {
+		Policies []policyInfo `json:"policies"`
+	}{}
+	for _, d := range policy.List() {
+		payload.Policies = append(payload.Policies, policyInfo{
+			Name:          d.Name,
+			Spelling:      d.DefaultSpelling(),
+			Aliases:       d.Aliases,
+			Abbrev:        d.Abbrev,
+			Parameterized: d.Parameterized,
+			Carrefour:     d.Carrefour,
+			BootOnly:      d.BootOnly,
+			RuntimeOnly:   d.RuntimeOnly,
+			Native:        d.Native != nil,
+			Fault:         d.Fault,
+		})
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, errorf("internal", "marshal policies: %v", err)
+	}
+	return b, nil
+}
+
+// Stats is the stats op's payload: the resident suite's and server's
+// counters. No wall-clock fields — the service reports work, and the
+// simulation's only clock is virtual.
+type Stats struct {
+	Workers        int    `json:"workers"`
+	CellsComputed  int64  `json:"cells_computed"`
+	CellsCached    int    `json:"cells_cached"`
+	CellsRestored  int64  `json:"cells_restored"`
+	TasksSubmitted int64  `json:"tasks_submitted"`
+	TasksCompleted int64  `json:"tasks_completed"`
+	PoolHits       uint64 `json:"pool_hits"`
+	PoolMisses     uint64 `json:"pool_misses"`
+	Requests       int64  `json:"requests"`
+	Coalesced      int64  `json:"coalesced"`
+	Failures       int64  `json:"failures"`
+	ModelVersion   string `json:"model_version,omitempty"`
+}
+
+// Snapshot of the server's counters (also the final CLI summary line).
+func (s *Server) Stats() Stats {
+	hits, misses := s.suite.PoolStats()
+	submitted, completed := s.suite.SchedulerStats()
+	return Stats{
+		Workers:        s.suite.Workers(),
+		CellsComputed:  s.suite.CellsComputed(),
+		CellsCached:    s.suite.CachedCells(),
+		CellsRestored:  s.restored.Load(),
+		TasksSubmitted: submitted,
+		TasksCompleted: completed,
+		PoolHits:       hits,
+		PoolMisses:     misses,
+		Requests:       s.requests.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Failures:       s.failures.Load(),
+		ModelVersion:   s.cfg.ModelVersion,
+	}
+}
+
+func (s *Server) statsResult() (json.RawMessage, *ErrorInfo) {
+	b, err := json.Marshal(struct {
+		Stats Stats `json:"stats"`
+	}{s.Stats()})
+	if err != nil {
+		return nil, errorf("internal", "marshal stats: %v", err)
+	}
+	return b, nil
+}
+
+// Handler returns the HTTP face of the protocol: POST /rpc carries one
+// request object per body and returns one response object. Error codes
+// map to HTTP statuses (parse/bad_request/overflow → 400, timeout →
+// 504, internal → 500), but the body is always the same structured
+// Response a stdio caller would read.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rpc", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxLineBytes+1))
+		if err != nil {
+			writeHTTP(w, marshalResponse("", nil, errorf("parse", "read body: %v", err)))
+			return
+		}
+		if len(body) > maxLineBytes {
+			writeHTTP(w, marshalResponse("", nil,
+				errorf("overflow", "request body exceeds %d bytes", maxLineBytes)))
+			return
+		}
+		writeHTTP(w, s.HandleLine(r.Context(), body))
+	})
+	return mux
+}
+
+// writeHTTP sends one response line with the status its error code
+// implies.
+func writeHTTP(w http.ResponseWriter, line []byte) {
+	var resp Response
+	status := http.StatusOK
+	if err := json.Unmarshal(line, &resp); err == nil && resp.Error != nil {
+		switch resp.Error.Code {
+		case "timeout":
+			status = http.StatusGatewayTimeout
+		case "internal":
+			status = http.StatusInternalServerError
+		default:
+			status = http.StatusBadRequest
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(line, '\n'))
+}
+
+// lineWriter serializes response lines onto one writer: a single Write
+// per response keeps lines atomic under concurrent handlers.
+type lineWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lineWriter) write(line []byte) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.w.Write(append(line, '\n'))
+}
+
+// readLine reads one newline-terminated line of at most max bytes.
+// Oversized lines are consumed to their newline and reported as
+// tooLong with no content, so the stream stays framed and the server
+// can answer with a structured overflow error instead of desyncing.
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	for {
+		frag, e := br.ReadSlice('\n')
+		if !tooLong {
+			if len(line)+len(frag) > max {
+				tooLong, line = true, nil
+			} else {
+				line = append(line, frag...)
+			}
+		}
+		if e == bufio.ErrBufferFull {
+			continue
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		return line, tooLong, e
+	}
+}
+
+// String renders the stats as the CLI's final summary line.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d requests (%d coalesced, %d failed), %d cells computed, %d cached (%d restored), pool %d hits / %d misses",
+		st.Requests, st.Coalesced, st.Failures, st.CellsComputed, st.CellsCached, st.CellsRestored, st.PoolHits, st.PoolMisses)
+}

@@ -1,0 +1,26 @@
+package xennuma
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+)
+
+// goldenFixture is the committed behaviour lock of the engine
+// (TestGoldenEngineResults): any intentional change to the simulation
+// model regenerates it in a dedicated commit. That makes its bytes the
+// natural version stamp of the model's observable behaviour.
+//
+//go:embed testdata/golden_engine.json
+var goldenFixture []byte
+
+// ModelVersion identifies the simulation model's observable behaviour:
+// a hash of the golden engine fixture. Persisted caches of simulation
+// results (the sweep service's -cache-dir) are keyed by it, so a model
+// change — which by policy regenerates the fixture — invalidates every
+// cached cell instead of silently serving results the current engine
+// would no longer produce.
+func ModelVersion() string {
+	sum := sha256.Sum256(goldenFixture)
+	return hex.EncodeToString(sum[:8])
+}
