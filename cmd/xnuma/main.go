@@ -49,6 +49,7 @@ import (
 	xennuma "repro"
 	"repro/internal/advisor"
 	"repro/internal/exp"
+	"repro/internal/faultinject"
 	"repro/internal/numa"
 	"repro/internal/policy"
 	"repro/internal/serve"
@@ -81,7 +82,7 @@ func runIO(argv []string, stdin io.Reader, stdout, stderr io.Writer) (code int) 
 usage:
   xnuma [flags] list | policies | all | topo | <experiment-id>... | run <app> <policy>
   xnuma [flags] sweep [-bind] [-seeds N] (<app> | -apps a,b,…|all) | advise [app...]
-  xnuma [flags] serve [-listen addr] [-cache-dir dir] [-timeout d]`)
+  xnuma [flags] serve [-listen addr] [-cache-dir dir] [-timeout d] [-max-flights n] [-max-pending n] [-faults plan]`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -434,8 +435,11 @@ func runServe(s *exp.Suite, stdin io.Reader, stdout, stderr io.Writer, args []st
 	listen := fs.String("listen", "", "also serve the protocol over HTTP on this address (POST /rpc)")
 	cacheDir := fs.String("cache-dir", "", "persist the cell cache in this directory across restarts")
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none); timed-out work keeps computing")
+	maxFlights := fs.Int("max-flights", 0, "retained completed-response cache bound (0 = default)")
+	maxPending := fs.Int("max-pending", 0, "shed new work past this many concurrent computations (0 = no shedding)")
+	faults := fs.String("faults", "", "inject faults per plan, e.g. pool.reset:hit=1:action=error (testing)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: xnuma serve [-listen addr] [-cache-dir dir] [-timeout d]")
+		fmt.Fprintln(stderr, "usage: xnuma serve [-listen addr] [-cache-dir dir] [-timeout d] [-max-flights n] [-max-pending n] [-faults plan]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -448,11 +452,23 @@ func runServe(s *exp.Suite, stdin io.Reader, stdout, stderr io.Writer, args []st
 		fmt.Fprintln(stderr, "xnuma: serve takes no positional arguments")
 		return 2
 	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "xnuma: -faults:", err)
+			return 2
+		}
+		faultinject.Install(plan)
+		defer faultinject.Install(nil)
+		fmt.Fprintf(stderr, "xnuma: serve: fault plan armed: %s\n", plan.Spec())
+	}
 
 	srv := serve.New(s, serve.Config{
 		ModelVersion: xennuma.ModelVersion(),
 		CacheDir:     *cacheDir,
 		Timeout:      *timeout,
+		MaxFlights:   *maxFlights,
+		MaxPending:   *maxPending,
 	})
 	if *cacheDir != "" {
 		switch n, err := srv.LoadCache(); {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuilder is a goroutine-safe strings.Builder: serve writes
+// responses from concurrent handlers while the test polls.
+type lockedBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuilder) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuilder) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestServeSIGTERMDrains sends a real SIGTERM to a running serve
+// session: the already-answered request's bytes are intact, the
+// service drains instead of dying, and the process exits 0 with its
+// summary — the contract a supervisor (systemd, a container runtime)
+// relies on.
+func TestServeSIGTERMDrains(t *testing.T) {
+	// Pre-arm our own handler so the signal can never kill the test
+	// binary even if it lands before runServe installs its
+	// NotifyContext.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	pr, pw := io.Pipe()
+	var out lockedBuilder
+	var errb lockedBuilder
+	done := make(chan int, 1)
+	go func() {
+		done <- runIO([]string{"-scale", "256", "serve"}, pr, &out, &errb)
+	}()
+
+	if _, err := io.WriteString(pw, `{"id":"q","op":"stats"}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	for !strings.Contains(out.String(), `"id":"q"`) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exit %d after SIGTERM, want 0; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain on SIGTERM")
+	}
+	pw.Close()
+
+	var resp struct {
+		ID string `json:"id"`
+		OK bool   `json:"ok"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &resp); err != nil {
+		t.Fatalf("bad response: %v\n%s", err, out.String())
+	}
+	if !resp.OK || resp.ID != "q" {
+		t.Fatalf("response = %+v", resp)
+	}
+	if !strings.Contains(errb.String(), "requests") {
+		t.Errorf("no summary on stderr after drain: %q", errb.String())
+	}
+}
+
+// TestServeFaultsFlag: -faults arms a plan for the session (visible in
+// the health op and on stderr), the injected degradation is contained,
+// and a bad plan is a usage error.
+func TestServeFaultsFlag(t *testing.T) {
+	stdin := `{"id":"w","op":"sweep","app":"swaptions"}` + "\n" + `{"id":"h","op":"health"}` + "\n"
+	byID, errb := serveIO(t, stdin, []string{"-scale", "256", "-parallel", "2"},
+		[]string{"-faults", "exp.cell:hit=1:action=error"})
+	if !strings.Contains(errb, "fault plan armed") {
+		t.Errorf("no arming notice on stderr: %q", errb)
+	}
+	if _, ok := byID["w"]; !ok {
+		t.Error("faulted sweep got no ok response (degradation not contained)")
+	}
+	var payload struct {
+		Health struct {
+			CellErrors int64  `json:"cell_errors"`
+			FaultPlan  string `json:"fault_plan"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(byID["h"], &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Health.FaultPlan != "exp.cell:hit=1:action=error" {
+		t.Errorf("health fault_plan = %q", payload.Health.FaultPlan)
+	}
+
+	var o, e strings.Builder
+	if code := runIO([]string{"serve", "-faults", "bogus:hit=1:action=error"},
+		strings.NewReader(""), &o, &e); code != 2 {
+		t.Errorf("bad -faults plan: exit %d, want 2", code)
+	}
+}

@@ -124,6 +124,19 @@ func (cl *cell) resolved() bool {
 	}
 }
 
+// evict removes key from the cache if it still maps to cl (pointer
+// compare), so an errored cell does not poison every future read of
+// its key. A concurrent re-claim that already replaced the entry is
+// left alone.
+func (c *resultCache) evict(key string, cl *cell) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m[key] == cl {
+		delete(sh.m, key)
+	}
+}
+
 // has reports whether key is already claimed (computed or in flight)
 // without claiming it.
 func (c *resultCache) has(key string) bool {

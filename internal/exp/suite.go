@@ -6,8 +6,14 @@ import (
 
 	xennuma "repro"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/workload"
 )
+
+// fiCell is the fault site at cell execution: a fired error or panic
+// stands in for a failing simulation, exercising the suite's
+// errored-cell eviction without a real defect.
+var fiCell = faultinject.Register("exp.cell")
 
 // Suite runs and memoizes simulations so the experiments can share
 // results (fig6, fig10 and table4 reuse the fig2/fig7 sweeps). Cells are
@@ -32,9 +38,10 @@ type Suite struct {
 	// execute.
 	Opt xennuma.Options
 
-	sched    *Scheduler
-	cache    *resultCache
-	computed atomic.Int64
+	sched      *Scheduler
+	cache      *resultCache
+	computed   atomic.Int64
+	cellErrors atomic.Int64
 }
 
 // NewSuite returns a suite at the given scale (0 = default) with one
@@ -70,6 +77,21 @@ func (s *Suite) PoolStats() (hits, misses uint64) {
 // CellsComputed returns how many distinct simulation cells have been
 // executed (cache hits excluded).
 func (s *Suite) CellsComputed() int64 { return s.computed.Load() }
+
+// CellErrors returns how many cell executions ended in an error or a
+// recovered panic — the suite's degraded-mode counter. Each errored
+// cell is evicted from the cache, so a later read of the same key
+// recomputes instead of replaying the failure.
+func (s *Suite) CellErrors() int64 { return s.cellErrors.Load() }
+
+// PoolResetDrops reports the suite pool's reset-failure drops (zero
+// when no pool is attached).
+func (s *Suite) PoolResetDrops() uint64 {
+	if s.Opt.Pool == nil {
+		return 0
+	}
+	return s.Opt.Pool.ResetDrops()
+}
 
 // LinuxPolicies are the four combinations of Figure 2.
 var LinuxPolicies = []string{"first-touch", "first-touch/carrefour", "round-4k", "round-4k/carrefour"}
@@ -108,8 +130,12 @@ func (s *Suite) cellOpts(seed uint64, key string) xennuma.Options {
 // cell resolves a cell: the first caller computes it (recovering panics
 // into the cell's error so waiters are released), later callers block
 // until it is done. It never panics itself; results panics on error.
+// An errored cell is counted, evicted and not retained: waiters that
+// already hold it observe the failure, but the next read of the key
+// recomputes — one bad execution never poisons the cache.
 func (s *Suite) cell(seed uint64, key string, fn cellFn) *cell {
-	cl, created := s.cache.claim(cacheKey(seed, key))
+	ck := cacheKey(seed, key)
+	cl, created := s.cache.claim(ck)
 	if !created {
 		<-cl.done
 		return cl
@@ -121,9 +147,17 @@ func (s *Suite) cell(seed uint64, key string, fn cellFn) *cell {
 				cl.err = fmt.Errorf("panic: %v", p)
 			}
 		}()
+		if err := fiCell.Fire(); err != nil {
+			cl.err = err
+			return
+		}
 		cl.res, cl.err = fn(s.cellOpts(seed, key))
 	}()
 	s.computed.Add(1)
+	if cl.err != nil {
+		s.cellErrors.Add(1)
+		s.cache.evict(ck, cl)
+	}
 	return cl
 }
 

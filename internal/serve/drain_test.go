@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMidSweepDrain pins graceful shutdown with a request in flight:
+// cancelling Serve's context mid-sweep (the CLI does this on
+// SIGTERM/SIGINT) stops the read loop but the already-accepted request
+// still computes and writes its response before Serve returns — no
+// request that was read is ever dropped.
+func TestMidSweepDrain(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	// Slow the sweep down so the cancel lands mid-computation.
+	installPlan(t, "exp.cell:hit=1:action=delay:delay=200ms")
+
+	pr, pw := io.Pipe()
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, pr, &out) }()
+
+	if _, err := io.WriteString(pw, sweepLine+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the server has accepted the request, then pull the
+	// plug while the sweep is still computing.
+	for srv.Stats().Requests == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+	pw.Close()
+
+	line := strings.TrimSpace(out.String())
+	if line == "" {
+		t.Fatal("in-flight request dropped on drain: no response written")
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("bad drained response %q: %v", line, err)
+	}
+	if !resp.OK || resp.ID != "h" {
+		t.Fatalf("drained response = %+v, want ok for id h", resp)
+	}
+}

@@ -37,7 +37,8 @@ type Request struct {
 	// ID is the caller's opaque correlation token, echoed verbatim in
 	// the response. Optional; at most maxIDLen bytes.
 	ID string `json:"id,omitempty"`
-	// Op selects the operation: "sweep", "advise", "policies", "stats".
+	// Op selects the operation: "sweep", "advise", "policies", "stats",
+	// "health".
 	Op string `json:"op"`
 	// App / Apps name the applications a sweep or advise covers. App is
 	// shorthand for a single-element Apps; "all" expands to every
@@ -71,9 +72,13 @@ type Response struct {
 // ErrorInfo is a structured protocol error.
 type ErrorInfo struct {
 	// Code is machine-readable: "parse", "bad_request", "overflow",
-	// "timeout" or "internal".
+	// "timeout", "unavailable" or "internal".
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterMS, set on "unavailable", hints how long the caller
+	// should back off before retrying (the HTTP face mirrors it in a
+	// Retry-After header).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 func errorf(code, format string, args ...any) *ErrorInfo {
@@ -177,14 +182,14 @@ func (r *Request) normalize() *ErrorInfo {
 		default:
 			return errorf("bad_request", "unknown target %q (want xen or linux)", r.Target)
 		}
-	case "policies", "stats":
+	case "policies", "stats", "health":
 		if r.App != "" || len(r.Apps) > 0 || r.Seeds != 0 || r.Bind || r.Markdown || r.Target != "" {
 			return errorf("bad_request", "%s takes no parameters", r.Op)
 		}
 	case "":
 		return errorf("bad_request", "missing op")
 	default:
-		return errorf("bad_request", "unknown op %q (want sweep, advise, policies or stats)", r.Op)
+		return errorf("bad_request", "unknown op %q (want sweep, advise, policies, stats or health)", r.Op)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,8 +15,15 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/exp"
+	"repro/internal/faultinject"
 	"repro/internal/policy"
 )
+
+// fiRequest is the fault site at request handling, fired after decode
+// and inside the handler's recover scope: an injected error surfaces
+// as a structured "internal" response, a panic exercises the recover
+// path, a delay stalls the request without corrupting it.
+var fiRequest = faultinject.Register("serve.request")
 
 // Config tunes a Server.
 type Config struct {
@@ -31,7 +39,27 @@ type Config struct {
 	// the computation itself cannot be cancelled and keeps running, so
 	// a retry lands on warm cells.
 	Timeout time.Duration
+	// MaxFlights bounds the retained completed-flight response cache:
+	// once more than MaxFlights completed flights are held, the least
+	// recently replayed one is evicted (deterministic completion-order
+	// LRU). 0 selects DefaultMaxFlights; in-flight leaders are never
+	// evicted.
+	MaxFlights int
+	// MaxPending bounds concurrent leader computations: a request that
+	// would start leader MaxPending+1 is shed with a structured
+	// "unavailable" error and a retry hint instead of queueing without
+	// bound. 0 means no shedding. Waiters coalescing onto an existing
+	// flight are never shed.
+	MaxPending int
 }
+
+// DefaultMaxFlights is the completed-flight cache bound when
+// Config.MaxFlights is 0.
+const DefaultMaxFlights = 512
+
+// shedRetryMS is the deterministic retry hint attached to shed
+// requests (no wall clock: the hint is a constant, not a measurement).
+const shedRetryMS = 1000
 
 // Server is a resident sweep service: one warm exp.Suite answering
 // sweep/advise/policies/stats requests. Identical in-flight and past
@@ -46,6 +74,13 @@ type Server struct {
 
 	mu      sync.Mutex
 	flights map[string]*flight
+	// completed is the retained-flight replay order: completed
+	// successful flights in completion order, most recently replayed
+	// last. Eviction pops the front once the list exceeds MaxFlights.
+	completed []string
+	// pending counts active leader computations (for MaxPending
+	// shedding).
+	pending int
 	// computeMu serializes Prefetch/Join batches: the scheduler forbids
 	// submitting concurrently with a pending Wait.
 	computeMu sync.Mutex
@@ -57,12 +92,17 @@ type Server struct {
 	coalesced atomic.Int64
 	failures  atomic.Int64
 	restored  atomic.Int64
+	evicted   atomic.Int64
+	shed      atomic.Int64
+	salvaged  atomic.Int64
 }
 
 // flight is one coalesced request computation: the leader fills result
-// or errInfo and closes done; every waiter shares the bytes. Flights
-// for cacheable ops are retained, so repeated identical requests replay
-// the exact payload without re-rendering.
+// or errInfo and closes done; every waiter shares the bytes.
+// Successful flights are retained (bounded by Config.MaxFlights, LRU
+// by replay order), so repeated identical requests replay the exact
+// payload without re-rendering; failed flights are dropped on
+// completion so retries recompute.
 type flight struct {
 	done    chan struct{}
 	result  json.RawMessage
@@ -74,6 +114,14 @@ type flight struct {
 // deterministic function of it and the request.
 func New(s *exp.Suite, cfg Config) *Server {
 	return &Server{suite: s, cfg: cfg, flights: make(map[string]*flight)}
+}
+
+// maxFlights resolves the configured completed-flight bound.
+func (s *Server) maxFlights() int {
+	if s.cfg.MaxFlights > 0 {
+		return s.cfg.MaxFlights
+	}
+	return DefaultMaxFlights
 }
 
 // Serve answers JSON-lines requests from r on w until r reaches EOF or
@@ -158,6 +206,10 @@ func (s *Server) HandleLine(ctx context.Context, line []byte) (resp []byte) {
 			resp = marshalResponse(req.ID, nil, errorf("internal", "%v", p))
 		}
 	}()
+	if err := fiRequest.Fire(); err != nil {
+		s.failures.Add(1)
+		return marshalResponse(req.ID, nil, errorf("internal", "injected fault: %v", err))
+	}
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
@@ -177,16 +229,26 @@ func (s *Server) dispatch(ctx context.Context, req Request) (json.RawMessage, *E
 		switch req.Op {
 		case "policies":
 			return policiesResult()
+		case "health":
+			return s.healthResult()
 		default: // "stats" — normalize admits nothing else
 			return s.statsResult()
 		}
 	}
 
-	fl, leader := s.claim(req.key())
+	key := req.key()
+	fl, leader, shed := s.claim(key)
+	if shed {
+		s.shed.Add(1)
+		e := errorf("unavailable", "server at capacity (%d leader computations in flight); retry after backoff", s.cfg.MaxPending)
+		e.RetryAfterMS = shedRetryMS
+		return nil, e
+	}
 	if leader {
 		s.flightWG.Add(1)
 		go func() {
 			defer s.flightWG.Done()
+			defer s.finish(key, fl)
 			defer close(fl.done)
 			defer func() {
 				if p := recover(); p != nil {
@@ -214,16 +276,59 @@ func (s *Server) dispatch(ctx context.Context, req Request) (json.RawMessage, *E
 	}
 }
 
-// claim returns the flight for key, creating it (leader=true) if absent.
-func (s *Server) claim(key string) (*flight, bool) {
+// claim returns the flight for key, creating it (leader=true) if
+// absent. A replayed completed flight is touched to the back of the
+// eviction order. When starting a new leader would exceed MaxPending,
+// nothing is created and shed is true; waiters joining an existing
+// flight are never shed.
+func (s *Server) claim(key string) (fl *flight, leader, shed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if fl, ok := s.flights[key]; ok {
-		return fl, false
+		s.touch(key)
+		return fl, false, false
 	}
-	fl := &flight{done: make(chan struct{})}
+	if s.cfg.MaxPending > 0 && s.pending >= s.cfg.MaxPending {
+		return nil, false, true
+	}
+	fl = &flight{done: make(chan struct{})}
 	s.flights[key] = fl
-	return fl, true
+	s.pending++
+	return fl, true, false
+}
+
+// touch moves a retained completed flight to the back of the eviction
+// order. In-flight keys are not in the list and are left alone.
+func (s *Server) touch(key string) {
+	for i, k := range s.completed {
+		if k == key {
+			copy(s.completed[i:], s.completed[i+1:])
+			s.completed[len(s.completed)-1] = key
+			return
+		}
+	}
+}
+
+// finish retires a leader computation. Failed flights are dropped —
+// errors are reported to their waiters but never replayed from cache,
+// so a retry recomputes. Successful flights join the replay cache,
+// evicting the least recently replayed one past the MaxFlights bound
+// (deterministic: completion order, touched on replay).
+func (s *Server) finish(key string, fl *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending--
+	if fl.errInfo != nil {
+		delete(s.flights, key)
+		return
+	}
+	s.completed = append(s.completed, key)
+	for max := s.maxFlights(); len(s.completed) > max; {
+		victim := s.completed[0]
+		s.completed = s.completed[1:]
+		delete(s.flights, victim)
+		s.evicted.Add(1)
+	}
 }
 
 // compute runs one sweep/advise batch on the suite and marshals its
@@ -314,9 +419,13 @@ type Stats struct {
 	TasksCompleted int64  `json:"tasks_completed"`
 	PoolHits       uint64 `json:"pool_hits"`
 	PoolMisses     uint64 `json:"pool_misses"`
+	PoolDrops      uint64 `json:"pool_drops"`
+	CellErrors     int64  `json:"cell_errors"`
 	Requests       int64  `json:"requests"`
 	Coalesced      int64  `json:"coalesced"`
 	Failures       int64  `json:"failures"`
+	FlightsEvicted int64  `json:"flights_evicted"`
+	Shed           int64  `json:"shed"`
 	ModelVersion   string `json:"model_version,omitempty"`
 }
 
@@ -333,9 +442,13 @@ func (s *Server) Stats() Stats {
 		TasksCompleted: completed,
 		PoolHits:       hits,
 		PoolMisses:     misses,
+		PoolDrops:      s.suite.PoolResetDrops(),
+		CellErrors:     s.suite.CellErrors(),
 		Requests:       s.requests.Load(),
 		Coalesced:      s.coalesced.Load(),
 		Failures:       s.failures.Load(),
+		FlightsEvicted: s.evicted.Load(),
+		Shed:           s.shed.Load(),
 		ModelVersion:   s.cfg.ModelVersion,
 	}
 }
@@ -350,22 +463,72 @@ func (s *Server) statsResult() (json.RawMessage, *ErrorInfo) {
 	return b, nil
 }
 
+// Health is the health op's payload: liveness plus every degraded-mode
+// counter. Status is "degraded" once any degradation event has
+// occurred — a pool machine dropped, a cell errored, a cache salvage
+// or a shed request — and "ok" otherwise. Degraded means the server
+// survived something, not that it is unhealthy now: every counter
+// counts a failure that was contained.
+type Health struct {
+	Status         string `json:"status"`
+	PoolResetDrops uint64 `json:"pool_reset_drops"`
+	CellErrors     int64  `json:"cell_errors"`
+	CacheSalvaged  int64  `json:"cache_salvaged"`
+	FlightsEvicted int64  `json:"flights_evicted"`
+	Shed           int64  `json:"shed"`
+	Failures       int64  `json:"failures"`
+	FaultPlan      string `json:"fault_plan,omitempty"`
+}
+
+// Health snapshots the degraded-mode counters (also the health op's
+// payload).
+func (s *Server) Health() Health {
+	h := Health{
+		Status:         "ok",
+		PoolResetDrops: s.suite.PoolResetDrops(),
+		CellErrors:     s.suite.CellErrors(),
+		CacheSalvaged:  s.salvaged.Load(),
+		FlightsEvicted: s.evicted.Load(),
+		Shed:           s.shed.Load(),
+		Failures:       s.failures.Load(),
+		FaultPlan:      faultinject.ActiveSpec(),
+	}
+	if h.PoolResetDrops > 0 || h.CellErrors > 0 || h.CacheSalvaged > 0 || h.Shed > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+func (s *Server) healthResult() (json.RawMessage, *ErrorInfo) {
+	b, err := json.Marshal(struct {
+		Health Health `json:"health"`
+	}{s.Health()})
+	if err != nil {
+		return nil, errorf("internal", "marshal health: %v", err)
+	}
+	return b, nil
+}
+
 // Handler returns the HTTP face of the protocol: POST /rpc carries one
 // request object per body and returns one response object. Error codes
 // map to HTTP statuses (parse/bad_request/overflow → 400, timeout →
-// 504, internal → 500), but the body is always the same structured
-// Response a stdio caller would read.
+// 504, unavailable → 503 with Retry-After, internal → 500), but the
+// body is always the same structured Response a stdio caller would
+// read. Bodies are capped at the stdio line limit with
+// http.MaxBytesReader, so an oversized POST also stops consuming the
+// connection at the cap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /rpc", func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxLineBytes+1))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxLineBytes))
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeHTTP(w, marshalResponse("", nil,
+					errorf("overflow", "request body exceeds %d bytes", maxLineBytes)))
+				return
+			}
 			writeHTTP(w, marshalResponse("", nil, errorf("parse", "read body: %v", err)))
-			return
-		}
-		if len(body) > maxLineBytes {
-			writeHTTP(w, marshalResponse("", nil,
-				errorf("overflow", "request body exceeds %d bytes", maxLineBytes)))
 			return
 		}
 		writeHTTP(w, s.HandleLine(r.Context(), body))
@@ -384,6 +547,13 @@ func writeHTTP(w http.ResponseWriter, line []byte) {
 			status = http.StatusGatewayTimeout
 		case "internal":
 			status = http.StatusInternalServerError
+		case "unavailable":
+			status = http.StatusServiceUnavailable
+			secs := (resp.Error.RetryAfterMS + 999) / 1000
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		default:
 			status = http.StatusBadRequest
 		}

@@ -1,8 +1,10 @@
 package xen
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/numa"
 	"repro/internal/policy"
@@ -52,7 +54,9 @@ func TestResetMatchesFreshHypervisor(t *testing.T) {
 
 	hv := build()
 	churn(hv)
-	hv.Reset()
+	if err := hv.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
 
 	fresh := build()
 	for n := 0; n < hv.Topo.NumNodes(); n++ {
@@ -97,5 +101,39 @@ func TestResetMatchesFreshHypervisor(t *testing.T) {
 	if dr.Faults != df.Faults || dr.Migrated != df.Migrated {
 		t.Errorf("counters diverge after rebuild: faults %d/%d migrated %d/%d",
 			dr.Faults, df.Faults, dr.Migrated, df.Migrated)
+	}
+}
+
+// TestResetReplayDivergenceReturnsError pins the degradation contract
+// of the xen.replay fault site: a divergence in the dom0 frame replay
+// surfaces as an error from Reset — never a panic — so the warm pool
+// can drop the machine and cold-build instead of taking the process
+// down.
+func TestResetReplayDivergenceReturnsError(t *testing.T) {
+	plan, err := faultinject.Parse("xen.replay:hit=1:action=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Install(plan)
+	defer faultinject.Install(nil)
+
+	hv := testHV(t)
+	if _, err := hv.CreateDomain(DomainSpec{
+		Name: "u1", VCPUs: 2, MemBytes: 8 << 20, Boot: policy.Round1G,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Reset(); err == nil || !strings.Contains(err.Error(), "frame replay") {
+		t.Fatalf("Reset under injected replay fault = %v, want frame-replay error", err)
+	}
+	if plan.Fired("xen.replay") != 1 {
+		t.Fatalf("site fired %d times, want 1", plan.Fired("xen.replay"))
+	}
+	// The fault fires once: the next Reset succeeds and the machine is
+	// usable again (the allocator was restored before the injection
+	// point, so this particular failure is recoverable in-test; real
+	// divergences are not, which is why the pool drops the machine).
+	if err := hv.Reset(); err != nil {
+		t.Fatalf("second Reset: %v", err)
 	}
 }

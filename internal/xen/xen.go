@@ -10,12 +10,18 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/numa"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// fiReplay is the fault site at the dom0 frame replay of Reset: an
+// injected fault stands in for a replay divergence, so the warm pool's
+// drop-and-cold-build degradation is testable on demand.
+var fiReplay = faultinject.Register("xen.replay")
 
 // DomID identifies a domain. Dom0 is always domain 0.
 type DomID int
@@ -328,9 +334,12 @@ func (h *Hypervisor) takeShell() *Domain {
 //
 // Reset requires that dom0 holds only block allocations from boot (no
 // page-grained ownership), which is true in every cell: nothing runs a
-// policy on dom0. It panics otherwise rather than reconstruct an
-// unknowable allocation order.
-func (h *Hypervisor) Reset() {
+// policy on dom0. It returns an error — rather than reconstruct an
+// unknowable allocation order, or kill the process — when that
+// precondition fails or the frame replay diverges; a hypervisor whose
+// Reset errored is no longer bit-identical to a cold boot and must be
+// discarded (the warm pool drops it and cold-builds).
+func (h *Hypervisor) Reset() error {
 	for id := DomID(1); id < h.nextID; id++ {
 		d, ok := h.domains[id]
 		if !ok {
@@ -352,7 +361,7 @@ func (h *Hypervisor) Reset() {
 
 	dom0 := h.domains[0]
 	if len(dom0.ownedPages) != 0 {
-		panic("xen: Reset with page-grained dom0 allocations")
+		return fmt.Errorf("xen: Reset with page-grained dom0 allocations")
 	}
 	// Restore the allocator to pristine shape, then replay dom0's boot
 	// allocations in their original order. The buddy allocator is
@@ -361,14 +370,18 @@ func (h *Hypervisor) Reset() {
 	// was not restored and the machine would no longer be bit-identical
 	// to a cold boot.
 	h.Alloc.Reset()
+	if err := fiReplay.Fire(); err != nil {
+		return fmt.Errorf("xen: dom0 frame replay: %w", err)
+	}
 	for _, f := range dom0.frames {
 		mfn, err := h.Alloc.Alloc(h.Alloc.NodeOf(f.mfn), f.order)
 		if err != nil || mfn != f.mfn {
-			panic(fmt.Sprintf("xen: dom0 frame replay diverged: got %v/%v, want %d", mfn, err, f.mfn))
+			return fmt.Errorf("xen: dom0 frame replay diverged: got %v/%v, want %d", mfn, err, f.mfn)
 		}
 	}
 	dom0.Faults, dom0.FaultTime = 0, 0
 	dom0.Hypercalls, dom0.HypercallTime = 0, 0
 	dom0.Migrated, dom0.Invalidated = 0, 0
 	dom0.nextAllocNode = 0
+	return nil
 }

@@ -1,13 +1,21 @@
 package xennuma
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/guest"
 	"repro/internal/workload"
 	"repro/internal/xen"
 )
+
+// fiPoolReset is the fault site at the warm lease's reset step: an
+// injected fault (error or panic) exercises the pool's degradation
+// path — drop the machine, count it, cold-build — without a real
+// divergence.
+var fiPoolReset = faultinject.Register("pool.reset")
 
 // poolKey is the run-constant shape of a machine: everything that
 // determines the sizes of the allocations a cell builds — the scaled
@@ -45,21 +53,41 @@ type Pool struct {
 	free   map[poolKey][]*machine
 	hits   uint64
 	misses uint64
+	drops  uint64
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{free: make(map[poolKey][]*machine)} }
 
 // Stats reports how many leases found a warm machine (hits) and how
-// many had to cold-build one (misses).
+// many had to cold-build one (misses). A lease whose reset failed
+// counts as a miss (the run cold-built after all) plus a ResetDrops.
 func (p *Pool) Stats() (hits, misses uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses
 }
 
+// ResetDrops reports how many leased machines were dropped because
+// their reset diverged or panicked — the pool's degraded-mode counter:
+// each drop is one warm lease that fell back to a cold build instead
+// of killing the process.
+func (p *Pool) ResetDrops() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drops
+}
+
+// count bumps one of the pool's counters under its lock.
+func (p *Pool) count(c *uint64) {
+	p.mu.Lock()
+	*c++
+	p.mu.Unlock()
+}
+
 // lease pops a free machine of the given shape, or returns nil when the
-// caller must cold-build one.
+// caller must cold-build one. Counters are the caller's job: a popped
+// machine only becomes a hit once its reset succeeds.
 func (p *Pool) lease(key poolKey) *machine {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -68,10 +96,8 @@ func (p *Pool) lease(key poolKey) *machine {
 		m := l[n-1]
 		l[n-1] = nil
 		p.free[key] = l[:n-1]
-		p.hits++
 		return m
 	}
-	p.misses++
 	return nil
 }
 
@@ -92,19 +118,46 @@ func (o Options) pool() *Pool {
 }
 
 // acquire produces the run's machine: a reset warm one when the pool
-// has a matching shape, a cold-built one otherwise.
+// has a matching shape, a cold-built one otherwise. A leased machine
+// whose reset fails — a replay divergence, a panic anywhere in the
+// reset protocol, or an injected fault — is dropped (counted in
+// ResetDrops) and the run degrades to a cold build; the divergence
+// never reaches the caller, and results stay bit-identical because a
+// cold-built machine is the reference the reset protocol reproduces.
 func acquire(o Options, key poolKey) (*machine, error) {
-	if p := o.pool(); p != nil {
+	p := o.pool()
+	if p != nil {
 		if m := p.lease(key); m != nil {
-			m.hv.Reset()
-			return m, nil
+			if err := resetMachine(m); err == nil {
+				p.count(&p.hits)
+				return m, nil
+			}
+			p.count(&p.drops)
 		}
 	}
 	hv, err := newHypervisor(scaledTopo(o.Scale), o)
 	if err != nil {
 		return nil, err
 	}
+	if p != nil {
+		p.count(&p.misses)
+	}
 	return &machine{hv: hv}, nil
+}
+
+// resetMachine returns a leased machine to its just-booted state,
+// degrading panics from the reset protocol into errors so a corrupt
+// machine costs the pool one drop, never the process.
+func resetMachine(m *machine) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("pool: reset panicked: %v", p)
+		}
+	}()
+	if err := fiPoolReset.Fire(); err != nil {
+		return err
+	}
+	return m.hv.Reset()
 }
 
 // releaseMachine hands the machine back to the pool, if any. Machines
